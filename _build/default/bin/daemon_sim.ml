@@ -1,0 +1,376 @@
+(* daemon_sim — CLI for the wait-free distributed-daemon reproduction.
+
+   Subcommands:
+     run          one dining scenario, human-readable report
+     experiments  the reproduction suite (E1..E12, F1..F5)
+     mcheck       exhaustive model checking of small instances
+     stabilize    a self-stabilizing protocol driven by the daemon *)
+
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Shared argument parsers.                                            *)
+(* ------------------------------------------------------------------ *)
+
+let topology_conv =
+  let parse s = Cgraph.Topology.parse s |> Result.map_error (fun e -> `Msg e) in
+  Arg.conv (parse, fun ppf t -> Format.pp_print_string ppf (Cgraph.Topology.name t))
+
+let topology_arg =
+  Arg.(
+    value
+    & opt topology_conv (Cgraph.Topology.Ring 8)
+    & info [ "t"; "topology" ] ~docv:"TOPO"
+        ~doc:
+          "Conflict graph: ring:N, path:N, clique:N, star:N, grid:RxC, torus:RxC, tree:N, \
+           cube:D, gnp:N:P[:SEED].")
+
+let seed_arg =
+  Arg.(value & opt int64 1L & info [ "s"; "seed" ] ~docv:"SEED" ~doc:"Root random seed.")
+
+let horizon_arg =
+  Arg.(value & opt int 60_000 & info [ "horizon" ] ~docv:"TICKS" ~doc:"Run length in ticks.")
+
+let crashes_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "f"; "crashes" ] ~docv:"N" ~doc:"Number of random crash faults to inject.")
+
+let detector_kind =
+  Arg.enum
+    [
+      ("oracle", `Oracle);
+      ("oracle-clean", `Oracle_clean);
+      ("heartbeat", `Heartbeat);
+      ("perfect", `Perfect);
+      ("never", `Never);
+      ("unreliable", `Unreliable);
+    ]
+
+let detector_arg =
+  Arg.(
+    value & opt detector_kind `Oracle
+    & info [ "d"; "detector" ] ~docv:"FD"
+        ~doc:
+          "Failure detector: oracle (scripted evp-P1 with false positives), oracle-clean \
+           (no false positives), heartbeat (message-based), perfect, never (Choy-Singh \
+           baseline), unreliable (complete but never accurate).")
+
+let algo_arg =
+  Arg.(
+    value
+    & opt (Arg.enum [ ("song-pike", Harness.Scenario.Song_pike); ("fork-only", Harness.Scenario.Fork_only); ("chandy-misra", Harness.Scenario.Chandy_misra); ("ordered", Harness.Scenario.Ordered) ]) Harness.Scenario.Song_pike
+    & info [ "a"; "algo" ] ~docv:"ALGO" ~doc:"Daemon: song-pike, fork-only, chandy-misra, ordered.")
+
+let contended_arg =
+  Arg.(value & flag & info [ "contended" ] ~doc:"Zero think time (maximum contention).")
+
+let trace_arg =
+  Arg.(value & flag & info [ "trace" ] ~doc:"Print the dining-layer event trace.")
+
+let dot_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "dot" ] ~docv:"FILE"
+        ~doc:
+          "Write the conflict graph as Graphviz dot to $(docv), with priorities as \
+           labels and crashed processes filled red.")
+
+let resolve_detector = function
+  | `Oracle ->
+      Harness.Scenario.Oracle
+        { detection_delay = 50; fp_per_edge = 2; fp_window = 8_000; fp_max_len = 200 }
+  | `Oracle_clean ->
+      Harness.Scenario.Oracle { detection_delay = 50; fp_per_edge = 0; fp_window = 0; fp_max_len = 1 }
+  | `Heartbeat -> Harness.Scenario.Heartbeat { period = 20; initial_timeout = 30; bump = 25 }
+  | `Perfect -> Harness.Scenario.Perfect
+  | `Never -> Harness.Scenario.Never
+  | `Unreliable -> Harness.Scenario.Unreliable { period = 1_500; duration = 150 }
+
+(* ------------------------------------------------------------------ *)
+(* run                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let print_report (r : Harness.Run.report) =
+  let summary = Monitor.Response.summary r.response in
+  Printf.printf "scenario        : %s on %s, seed %Ld, horizon %d\n" r.scenario.name
+    (Cgraph.Topology.name r.scenario.topology)
+    r.scenario.seed r.horizon;
+  Printf.printf "daemon          : %s + %s\n"
+    (Harness.Scenario.algo_name r.scenario.algo)
+    (Harness.Scenario.detector_name r.scenario.detector);
+  Printf.printf "crashes         : %s\n"
+    (if r.crashed = [] then "none"
+     else String.concat ", " (List.map (fun (p, t) -> Printf.sprintf "p%d@%d" p t) r.crashed));
+  Printf.printf "eats            : %d (%.1f per ktick), hungry sessions served %d\n" r.total_eats
+    (Harness.Run.throughput r)
+    (Monitor.Response.served_count r.response);
+  Printf.printf "response (ticks): mean %.1f  p95 %.1f  p99 %.1f  max %.1f\n" summary.mean
+    summary.p95 summary.p99 summary.max;
+  let starved = Harness.Run.starved r ~older_than:10_000 in
+  Printf.printf "starved         : %s\n"
+    (if starved = [] then "none (wait-free)"
+     else "PROCESSES " ^ String.concat "," (List.map string_of_int starved));
+  Printf.printf "exclusion       : %d violation(s); detector converged at %s; after that: %d\n"
+    (Monitor.Exclusion.count r.exclusion)
+    (Stats.Table.cell_time r.convergence)
+    (Monitor.Exclusion.count_after r.exclusion r.convergence);
+  Printf.printf "overtaking      : max consecutive %d; for sessions after convergence %d (bound 2)\n"
+    (Monitor.Fairness.max_consecutive r.fairness)
+    (Monitor.Fairness.max_consecutive_for_sessions_from r.fairness r.convergence);
+  Printf.printf "channels        : max %d msgs in transit per edge (bound 4)\n"
+    (Net.Link_stats.max_edge_watermark r.link_stats);
+  (match (r.max_footprint_bits, r.max_message_bits) with
+  | Some fp, Some mb -> Printf.printf "bounded state   : <= %d bits/process, <= %d bits/message\n" fp mb
+  | _ -> ());
+  Printf.printf "invariants      : %s\n" (Option.value r.invariant_error ~default:"all executable lemmas held");
+  Printf.printf "engine          : %d events processed\n" r.events_processed
+
+let run_cmd =
+  let go topology seed horizon crashes detector algo contended trace dot =
+    let scenario =
+      {
+        Harness.Scenario.default with
+        name = "cli";
+        topology;
+        seed;
+        horizon;
+        algo;
+        detector = resolve_detector detector;
+        workload =
+          (if contended then Harness.Scenario.contended_workload
+           else Harness.Scenario.default_workload);
+        crashes =
+          (if crashes = 0 then Harness.Scenario.No_crashes
+           else
+             Harness.Scenario.Random_crashes
+               { count = crashes; from_t = horizon / 10; to_t = horizon / 2 });
+      }
+    in
+    let tracer = Sim.Trace.create () in
+    if trace then
+      Sim.Trace.on_record tracer (fun record ->
+          Format.printf "%a@." Sim.Trace.pp_record record);
+    let report = Harness.Run.run ~trace:tracer scenario in
+    print_report report;
+    match dot with
+    | None -> ()
+    | Some path ->
+        let colors = Cgraph.Coloring.greedy report.graph in
+        let crashed = List.map fst report.crashed in
+        let contents =
+          Cgraph.Graph.to_dot report.graph
+            ~vertex_label:(fun pid -> Printf.sprintf "p%d\\nc=%d" pid colors.(pid))
+            ~vertex_color:(fun pid -> if List.mem pid crashed then Some "red" else None)
+        in
+        let oc = open_out path in
+        output_string oc contents;
+        close_out oc;
+        Printf.printf "wrote %s\n" path
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one dining scenario and report every paper metric.")
+    Term.(
+      const go $ topology_arg $ seed_arg $ horizon_arg $ crashes_arg $ detector_arg $ algo_arg
+      $ contended_arg $ trace_arg $ dot_arg)
+
+(* ------------------------------------------------------------------ *)
+(* experiments                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let experiments_cmd =
+  let ids_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"ID" ~doc:"Experiment ids (e1..e12, f1..f6); all when omitted.")
+  in
+  let csv_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"DIR"
+          ~doc:"Also write each table and figure's raw data as CSV files into $(docv).")
+  in
+  let write_csv dir id k name contents =
+    let slug =
+      String.map
+        (fun c -> if ('a' <= c && c <= 'z') || ('0' <= c && c <= '9') then c else '-')
+        (String.lowercase_ascii name)
+    in
+    let path = Filename.concat dir (Printf.sprintf "%s-%d-%s.csv" id k slug) in
+    let oc = open_out path in
+    output_string oc contents;
+    close_out oc;
+    Printf.printf "wrote %s\n" path
+  in
+  let go ids csv_dir =
+    let selected =
+      if ids = [] then Harness.Experiments.all
+      else
+        List.filter_map
+          (fun id ->
+            match Harness.Experiments.find id with
+            | Some e -> Some e
+            | None ->
+                Printf.eprintf "unknown experiment id %S (known: %s)\n" id
+                  (String.concat ", "
+                     (List.map (fun (e : Harness.Experiments.t) -> e.id) Harness.Experiments.all));
+                None)
+          ids
+    in
+    (match csv_dir with
+    | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755
+    | _ -> ());
+    List.iter
+      (fun (e : Harness.Experiments.t) ->
+        Printf.printf "### %s — %s (reproduces: %s)\n\n" (String.uppercase_ascii e.id) e.title
+          e.claim;
+        let artifacts = e.run () in
+        List.iter Harness.Experiments.print_artifact artifacts;
+        match csv_dir with
+        | None -> ()
+        | Some dir ->
+            List.iteri
+              (fun k artifact ->
+                match artifact with
+                | Harness.Experiments.Table t -> write_csv dir e.id k "table" (Stats.Table.to_csv t)
+                | Harness.Experiments.Series s ->
+                    write_csv dir e.id k (Stats.Series.title s) (Stats.Series.to_csv s)
+                | Harness.Experiments.Note _ -> ())
+              artifacts)
+      selected
+  in
+  Cmd.v
+    (Cmd.info "experiments" ~doc:"Regenerate the paper-claim tables and figures.")
+    Term.(const go $ ids_arg $ csv_arg)
+
+(* ------------------------------------------------------------------ *)
+(* mcheck                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let mcheck_cmd =
+  let instance_arg =
+    Arg.(
+      value
+      & opt (Arg.enum [ ("pair", `Pair); ("path3", `Path3); ("triangle", `Triangle) ]) `Pair
+      & info [ "i"; "instance" ] ~docv:"INST" ~doc:"Instance: pair, path3, triangle.")
+  in
+  let sessions_arg =
+    Arg.(value & opt int 2 & info [ "sessions" ] ~docv:"N" ~doc:"Hungry sessions per process.")
+  in
+  let crash_arg =
+    Arg.(value & opt int 0 & info [ "crash-budget" ] ~docv:"N" ~doc:"Crashes allowed.")
+  in
+  let fp_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "fp-budget" ] ~docv:"N" ~doc:"False-suspicion output changes allowed.")
+  in
+  let max_states_arg =
+    Arg.(value & opt int 500_000 & info [ "max-states" ] ~docv:"N" ~doc:"State-count cap.")
+  in
+  let go instance sessions crash_budget fp_budget max_states =
+    let graph, colors =
+      match instance with
+      | `Pair -> (Cgraph.Graph.of_edges ~n:2 [ (0, 1) ], [| 0; 1 |])
+      | `Path3 -> (Cgraph.Graph.of_edges ~n:3 [ (0, 1); (1, 2) ], [| 0; 1; 0 |])
+      | `Triangle -> (Cgraph.Graph.of_edges ~n:3 [ (0, 1); (1, 2); (0, 2) ], [| 0; 1; 2 |])
+    in
+    let r =
+      Mcheck.Explore.bfs ~max_states
+        { Mcheck.Model.graph; colors; sessions; crash_budget; fp_budget }
+    in
+    Format.printf "%a@." Mcheck.Explore.pp_result r;
+    if r.violation <> None then exit 1
+  in
+  Cmd.v
+    (Cmd.info "mcheck"
+       ~doc:
+         "Exhaustively model-check Algorithm 1 on a small instance (lemmas, channel bound, \
+          and — with no false-positive budget — weak exclusion).")
+    Term.(const go $ instance_arg $ sessions_arg $ crash_arg $ fp_arg $ max_states_arg)
+
+(* ------------------------------------------------------------------ *)
+(* stabilize                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let stabilize_cmd =
+  let protocol_arg =
+    Arg.(
+      value
+      & opt
+          (Arg.enum
+             [
+               ("coloring", Harness.Run_stabilize.Coloring);
+               ("token-ring", Harness.Run_stabilize.Token_ring);
+               ("matching", Harness.Run_stabilize.Matching);
+               ("bfs-tree", Harness.Run_stabilize.Bfs_tree);
+             ])
+          Harness.Run_stabilize.Coloring
+      & info [ "p"; "protocol" ] ~docv:"PROTO" ~doc:"coloring, token-ring, matching or bfs-tree.")
+  in
+  let transients_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "transients" ] ~docv:"N" ~doc:"Number of transient-fault injections.")
+  in
+  let go topology seed horizon crashes detector protocol transients =
+    let spec =
+      {
+        Harness.Run_stabilize.protocol;
+        transient_faults =
+          List.init transients (fun k -> ((horizon * (k + 2)) / (transients + 3), 4));
+        scenario =
+          {
+            Harness.Scenario.default with
+            name = "stabilize";
+            topology;
+            seed;
+            horizon;
+            detector = resolve_detector detector;
+            crashes =
+              (if crashes = 0 then Harness.Scenario.No_crashes
+               else
+                 Harness.Scenario.Random_crashes
+                   { count = crashes; from_t = horizon / 20; to_t = horizon / 5 });
+          };
+      }
+    in
+    let r = Harness.Run_stabilize.run spec in
+    Printf.printf "protocol     : %s on %s, daemon song-pike + %s\n"
+      (Harness.Run_stabilize.protocol_name protocol)
+      (Cgraph.Topology.name topology)
+      (Harness.Scenario.detector_name spec.scenario.detector);
+    Printf.printf "crashes      : %s\n"
+      (if r.crashed = [] then "none"
+       else String.concat ", " (List.map (fun (p, t) -> Printf.sprintf "p%d@%d" p t) r.crashed));
+    Printf.printf "transients   : %s\n"
+      (String.concat ", "
+         (List.map (fun (t, v) -> Printf.sprintf "%d@%d" v t) spec.transient_faults));
+    Printf.printf "steps        : %d guarded commands executed, %d CS overlaps\n"
+      r.outcome.steps_executed r.outcome.overlap_races;
+    (match r.outcome.converged_at with
+    | Some t -> Printf.printf "converged    : yes, legitimate from %d to the horizon\n" t
+    | None -> Printf.printf "converged    : NO (final error %d)\n" r.outcome.final_error);
+    Printf.printf "invariants   : %s\n" (Option.value r.invariant_error ~default:"ok")
+  in
+  Cmd.v
+    (Cmd.info "stabilize"
+       ~doc:"Drive a self-stabilizing protocol through the daemon under faults.")
+    Term.(
+      const go $ topology_arg $ seed_arg $ horizon_arg $ crashes_arg $ detector_arg
+      $ protocol_arg $ transients_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let main =
+  Cmd.group
+    (Cmd.info "daemon_sim" ~version:"1.0.0"
+       ~doc:
+         "Wait-free, eventually 2-bounded dining daemons with an eventually perfect \
+          failure detector (Song & Pike, DSN 2007) — simulator, baselines, experiments \
+          and model checker.")
+    [ run_cmd; experiments_cmd; mcheck_cmd; stabilize_cmd ]
+
+let () = exit (Cmd.eval main)

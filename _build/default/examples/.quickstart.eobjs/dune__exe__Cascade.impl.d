@@ -1,0 +1,1 @@
+examples/cascade.ml: Array Cgraph Dining Harness List Net Printf Sim String

@@ -1,0 +1,1 @@
+examples/fairness_duel.ml: Array Cgraph Harness List Monitor Stats String

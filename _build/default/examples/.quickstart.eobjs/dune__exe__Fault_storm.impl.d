@@ -1,0 +1,1 @@
+examples/fault_storm.ml: Cgraph Harness List Monitor Net Option Printf Stats String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Cgraph Format Harness List Monitor Net Option Sim String

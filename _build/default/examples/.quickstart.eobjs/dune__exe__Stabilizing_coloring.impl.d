@@ -1,0 +1,1 @@
+examples/stabilizing_coloring.ml: Array Cgraph Dining Fd Net Printf Sim Stabilize

@@ -1,0 +1,1 @@
+examples/stabilizing_coloring.mli:

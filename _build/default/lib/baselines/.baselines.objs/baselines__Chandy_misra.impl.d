@@ -1,0 +1,1 @@
+lib/baselines/chandy_misra.ml: Array Cgraph Dining Fd Hashtbl List Net Printf Sim

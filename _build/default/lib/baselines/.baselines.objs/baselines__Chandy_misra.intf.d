@@ -1,0 +1,1 @@
+lib/baselines/chandy_misra.mli: Cgraph Dining Fd Net Sim

@@ -1,0 +1,1 @@
+lib/baselines/fork_only.ml: Array Cgraph Dining Fd Hashtbl List Net Printf Sim

@@ -1,0 +1,1 @@
+lib/baselines/fork_only.mli: Cgraph Dining Fd Net Sim

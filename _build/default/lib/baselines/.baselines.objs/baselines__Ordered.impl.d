@@ -1,0 +1,1 @@
+lib/baselines/ordered.ml: Array Cgraph Dining Fd Hashtbl List Net Printf Sim

@@ -1,0 +1,1 @@
+lib/baselines/ordered.mli: Cgraph Dining Fd Net Sim

@@ -1,0 +1,32 @@
+(** The hygienic dining philosophers algorithm of Chandy & Misra (1984),
+    as the classic dynamic-priority reference point.
+
+    Forks are {e clean} or {e dirty}: a fork is cleaned when it is sent,
+    and all of an eater's forks become dirty when it eats. A hungry holder
+    yields a requested fork iff the fork is dirty (an eater defers
+    everything). Initially forks sit with the lower-id endpoint and are
+    dirty, which makes the precedence graph acyclic, and it stays acyclic —
+    giving starvation freedom without any doorway in crash-free runs.
+
+    The optional failure detector grafts the paper's oracle substitution
+    onto the eat guard and the request guard (suspected neighbors are
+    treated as if their fork/grant arrived), so the same crash experiments
+    can be run against a dynamic-priority scheme. With [Fd.Never.create]
+    this is exactly the classic crash-intolerant algorithm. *)
+
+type t
+
+val create :
+  engine:Sim.Engine.t ->
+  faults:Net.Faults.t ->
+  graph:Cgraph.Graph.t ->
+  delay:Net.Delay.t ->
+  rng:Sim.Rng.t ->
+  detector:Fd.Detector.t ->
+  unit ->
+  t
+
+val instance : t -> Dining.Instance.t
+val network_stats : t -> Net.Link_stats.t
+val holds_fork : t -> Dining.Types.pid -> Dining.Types.pid -> bool
+val fork_clean : t -> Dining.Types.pid -> Dining.Types.pid -> bool

@@ -1,0 +1,165 @@
+open Dining.Types
+
+type msg = Req of int | Fk
+
+type proc = {
+  pid : pid;
+  color : int;
+  nbrs : pid array;
+  index_of : (pid, int) Hashtbl.t;
+  mutable phase : phase;
+  fork : bool array;
+  token : bool array;
+}
+
+type t = {
+  engine : Sim.Engine.t;
+  faults : Net.Faults.t;
+  graph : Cgraph.Graph.t;
+  detector : Fd.Detector.t;
+  procs : proc array;
+  mutable net : msg Net.Network.t option;
+  mutable listeners : (pid -> phase -> unit) list;
+}
+
+let net t = match t.net with Some n -> n | None -> assert false
+let proc t i = t.procs.(i)
+
+let nbr_index p j =
+  match Hashtbl.find_opt p.index_of j with
+  | Some k -> k
+  | None -> invalid_arg "fork_only: not a neighbor"
+
+let notify t i =
+  let p = proc t i in
+  List.iter (fun f -> f i p.phase) t.listeners
+
+let suspects t i j = t.detector.Fd.Detector.suspects ~observer:i ~target:j
+
+let try_actions t i =
+  if not (Net.Faults.is_crashed t.faults i) then begin
+    let p = proc t i in
+    if p.phase = Hungry then begin
+      Array.iteri
+        (fun k j ->
+          if p.token.(k) && not p.fork.(k) then begin
+            p.token.(k) <- false;
+            Net.Network.send (net t) ~src:i ~dst:j (Req p.color)
+          end)
+        p.nbrs;
+      let may_eat = ref true in
+      Array.iteri
+        (fun k j -> if not (p.fork.(k) || suspects t i j) then may_eat := false)
+        p.nbrs;
+      if !may_eat then begin
+        p.phase <- Eating;
+        notify t i
+      end
+    end
+  end
+
+let receive_request t i ~from:j ~color:color_j =
+  let p = proc t i in
+  let k = nbr_index p j in
+  if not p.fork.(k) then
+    raise (Invariant_violation (Printf.sprintf "fork_only: %d requested a fork %d lacks" j i));
+  p.token.(k) <- true;
+  (* Defer only while eating, or while hungry with strictly higher
+     priority; otherwise yield immediately. *)
+  let defer = p.phase = Eating || (p.phase = Hungry && p.color > color_j) in
+  if not defer then begin
+    p.fork.(k) <- false;
+    Net.Network.send (net t) ~src:i ~dst:j Fk
+  end;
+  try_actions t i
+
+let receive_fork t i ~from:j =
+  let p = proc t i in
+  let k = nbr_index p j in
+  if p.fork.(k) then
+    raise (Invariant_violation (Printf.sprintf "fork_only: duplicated fork (%d,%d)" i j));
+  p.fork.(k) <- true;
+  try_actions t i
+
+let become_hungry t i =
+  if not (Net.Faults.is_crashed t.faults i) then begin
+    let p = proc t i in
+    if p.phase = Thinking then begin
+      p.phase <- Hungry;
+      notify t i;
+      try_actions t i
+    end
+  end
+
+let stop_eating t i =
+  if not (Net.Faults.is_crashed t.faults i) then begin
+    let p = proc t i in
+    if p.phase = Eating then begin
+      p.phase <- Thinking;
+      Array.iteri
+        (fun k j ->
+          if p.token.(k) && p.fork.(k) then begin
+            p.fork.(k) <- false;
+            Net.Network.send (net t) ~src:i ~dst:j Fk
+          end)
+        p.nbrs;
+      notify t i
+    end
+  end
+
+let create ~engine ~faults ~graph ~delay ~rng ~detector ?colors () =
+  let colors =
+    match colors with
+    | Some c ->
+        if not (Cgraph.Coloring.is_proper graph c) then
+          invalid_arg "Fork_only.create: colors must be a proper coloring";
+        c
+    | None -> Cgraph.Coloring.greedy graph
+  in
+  let procs =
+    Array.init (Cgraph.Graph.n graph) (fun i ->
+        let nbrs = Cgraph.Graph.neighbors graph i in
+        let index_of = Hashtbl.create (max 1 (Array.length nbrs)) in
+        Array.iteri (fun k j -> Hashtbl.add index_of j k) nbrs;
+        {
+          pid = i;
+          color = colors.(i);
+          nbrs;
+          index_of;
+          phase = Thinking;
+          fork = Array.map (fun j -> colors.(i) > colors.(j)) nbrs;
+          token = Array.map (fun j -> colors.(i) < colors.(j)) nbrs;
+        })
+  in
+  let t = { engine; faults; graph; detector; procs; net = None; listeners = [] } in
+  let network =
+    Net.Network.create ~engine ~graph ~delay ~faults ~rng
+      ~kind:(function Req _ -> "request" | Fk -> "fork")
+      ~handler:(fun ~dst ~src msg ->
+        match msg with
+        | Req color -> receive_request t dst ~from:src ~color
+        | Fk -> receive_fork t dst ~from:src)
+      ()
+  in
+  t.net <- Some network;
+  detector.Fd.Detector.subscribe (fun observer ->
+      if observer >= 0 && observer < Array.length t.procs then try_actions t observer);
+  t
+
+let network_stats t = Net.Network.stats (net t)
+
+let check_invariants t =
+  Cgraph.Graph.iter_edges t.graph (fun i j ->
+      let pi = proc t i and pj = proc t j in
+      if pi.fork.(nbr_index pi j) && pj.fork.(nbr_index pj i) then
+        raise (Invariant_violation (Printf.sprintf "fork_only: two forks on edge (%d,%d)" i j)))
+
+let instance t =
+  {
+    Dining.Instance.name = "fork-only-" ^ t.detector.Fd.Detector.name;
+    become_hungry = become_hungry t;
+    stop_eating = stop_eating t;
+    phase = (fun i -> (proc t i).phase);
+    add_listener = (fun f -> t.listeners <- t.listeners @ [ f ]);
+    check_invariants = (fun () -> check_invariants t);
+  }

@@ -1,0 +1,27 @@
+(** Doorway ablation: phase 2 of Algorithm 1 alone.
+
+    A hungry process immediately collects forks with the same
+    token/request protocol and static color priorities as Algorithm 1, and
+    eats when each fork is held or its holder suspected — but there is no
+    doorway. With a ◇P₁ detector this is still wait-free-ish in light
+    contention and satisfies ◇WX, but overtaking is unbounded: a
+    higher-colored neighbor can snatch the shared fork every time it gets
+    hungry, starving a lower-colored diner under sustained contention.
+    Experiment E3 uses it to show what the doorway buys (Theorem 3's
+    eventual 2-bounded waiting). *)
+
+type t
+
+val create :
+  engine:Sim.Engine.t ->
+  faults:Net.Faults.t ->
+  graph:Cgraph.Graph.t ->
+  delay:Net.Delay.t ->
+  rng:Sim.Rng.t ->
+  detector:Fd.Detector.t ->
+  ?colors:int array ->
+  unit ->
+  t
+
+val instance : t -> Dining.Instance.t
+val network_stats : t -> Net.Link_stats.t

@@ -1,0 +1,36 @@
+(** Hierarchical resource allocation: Dijkstra's total-order scheme as
+    generalised by Lynch (1980), the third classic baseline.
+
+    Every fork (edge) has a globally unique rank — the pair
+    (min endpoint, max endpoint) ordered lexicographically. A hungry
+    process acquires its forks {e sequentially in ascending rank},
+    locking each acquired fork until after it eats; a lock-holder defers
+    requests for locked forks, and grants everything else immediately.
+    Because the waits-for relation only ever points from lower-ranked to
+    higher-ranked resources, it is acyclic: the scheme is deadlock-free
+    without any doorway or priorities, at the cost of long waiting chains
+    (response time grows with the longest ascending path in the conflict
+    graph — Lynch's analysis).
+
+    The optional failure detector substitutes suspicion for both the
+    missing fork and the grant, as in Algorithm 1; with {!Fd.Never} this
+    is the classic crash-intolerant algorithm. *)
+
+type t
+
+val create :
+  engine:Sim.Engine.t ->
+  faults:Net.Faults.t ->
+  graph:Cgraph.Graph.t ->
+  delay:Net.Delay.t ->
+  rng:Sim.Rng.t ->
+  detector:Fd.Detector.t ->
+  unit ->
+  t
+
+val instance : t -> Dining.Instance.t
+val network_stats : t -> Net.Link_stats.t
+
+val progress : t -> Dining.Types.pid -> int
+(** How many forks (in rank order) the process has locked so far in its
+    current hungry session; 0 when not hungry. For tests. *)

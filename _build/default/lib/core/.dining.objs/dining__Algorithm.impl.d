@@ -1,0 +1,1 @@
+lib/core/algorithm.ml: Array Cgraph Char Fd Format Hashtbl Instance List Net Printf Sim Types

@@ -1,0 +1,1 @@
+lib/core/algorithm.mli: Cgraph Fd Format Instance Net Sim Types

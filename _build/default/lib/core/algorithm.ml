@@ -1,0 +1,434 @@
+open Types
+
+(* Per-process local state. All per-neighbor variables are arrays indexed
+   by the position of the neighbor in [nbrs] (the paper's subscript "ij"
+   becomes [field.(k)] with [nbrs.(k) = j]). *)
+type proc = {
+  pid : pid;
+  color : int;
+  nbrs : pid array;
+  index_of : (pid, int) Hashtbl.t;
+  mutable phase : phase;
+  mutable inside : bool;
+  pinged : bool array;
+  ack : bool array;
+  granted : int array; (* doorway acks granted to this neighbor this session *)
+  deferred : bool array;
+  fork : bool array;
+  token : bool array;
+  mutable eats : int;
+}
+
+(* In-flight / absorbed message accounting per directed pair and kind,
+   used only by the executable-lemma checks. *)
+type wire = { mutable flying : int; mutable absorbed : int }
+
+type t = {
+  engine : Sim.Engine.t;
+  faults : Net.Faults.t;
+  graph : Cgraph.Graph.t;
+  detector : Fd.Detector.t;
+  procs : proc array;
+  mutable net : message Net.Network.t option; (* set once in create *)
+  mutable listeners : (pid -> phase -> unit) list;
+  wires : (pid * pid * string, wire) Hashtbl.t;
+  trace : Sim.Trace.t;
+  acks_per_session : int;
+}
+
+let net t = match t.net with Some n -> n | None -> assert false
+let now t = Sim.Engine.now t.engine
+let proc t i = t.procs.(i)
+
+let nbr_index p j =
+  match Hashtbl.find_opt p.index_of j with
+  | Some k -> k
+  | None -> invalid_arg (Printf.sprintf "dining: %d is not a neighbor of %d" j p.pid)
+
+let wire t src dst kind =
+  let key = (src, dst, kind) in
+  match Hashtbl.find_opt t.wires key with
+  | Some w -> w
+  | None ->
+      let w = { flying = 0; absorbed = 0 } in
+      Hashtbl.add t.wires key w;
+      w
+
+let emit t i tag detail = Sim.Trace.emit t.trace ~time:(now t) ~subject:i ~tag detail
+
+let send t ~src ~dst msg =
+  let w = wire t src dst (message_kind msg) in
+  w.flying <- w.flying + 1;
+  Net.Network.send (net t) ~src ~dst msg
+
+let notify_phase t i =
+  let p = proc t i in
+  List.iter (fun f -> f i p.phase) t.listeners
+
+(* ------------------------------------------------------------------ *)
+(* Guarded internal actions (Actions 2, 5, 6, 9).                      *)
+(* ------------------------------------------------------------------ *)
+
+let suspects t i j = t.detector.Fd.Detector.suspects ~observer:i ~target:j
+
+(* Evaluate all enabled internal actions of [i]. Idempotent: every send is
+   gated by a flag it sets, and each phase transition fires at most once
+   per hungry session, so re-evaluation on every event is safe. *)
+let try_actions t i =
+  if not (Net.Faults.is_crashed t.faults i) then begin
+    let p = proc t i in
+    if p.phase = Hungry then begin
+      if not p.inside then begin
+        (* Action 2: request acks from neighbors with no ack and no
+           pending ping. *)
+        Array.iteri
+          (fun k j ->
+            if (not p.pinged.(k)) && not p.ack.(k) then begin
+              p.pinged.(k) <- true;
+              send t ~src:i ~dst:j Ping
+            end)
+          p.nbrs;
+        (* Action 5: enter the doorway once every neighbor granted an ack
+           or is suspected. *)
+        let may_enter = ref true in
+        Array.iteri
+          (fun k j -> if not (p.ack.(k) || suspects t i j) then may_enter := false)
+          p.nbrs;
+        if !may_enter then begin
+          p.inside <- true;
+          Array.fill p.ack 0 (Array.length p.ack) false;
+          Array.fill p.granted 0 (Array.length p.granted) 0;
+          emit t i "enter_doorway" ""
+        end
+      end;
+      if p.inside then begin
+        (* Action 6: request each missing fork by surrendering the edge
+           token, carrying our color. *)
+        Array.iteri
+          (fun k j ->
+            if p.token.(k) && not p.fork.(k) then begin
+              p.token.(k) <- false;
+              send t ~src:i ~dst:j (Request p.color)
+            end)
+          p.nbrs;
+        (* Action 9: eat once every neighbor's fork is held or the
+           neighbor is suspected. *)
+        let may_eat = ref true in
+        Array.iteri
+          (fun k j -> if not (p.fork.(k) || suspects t i j) then may_eat := false)
+          p.nbrs;
+        if !may_eat then begin
+          p.phase <- Eating;
+          p.eats <- p.eats + 1;
+          emit t i "eat" "";
+          notify_phase t i
+        end
+      end
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Message handlers (Actions 3, 4, 7, 8).                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Action 3: grant or defer a doorway ack. The paper grants at most one
+   ack per neighbor per hungry session (yielding eventual 2-bounded
+   waiting, Theorem 3); [acks_per_session] generalises that budget to m,
+   yielding eventual (m+1)-bounded waiting — the fairness knob studied by
+   experiment E11. Thinking processes grant unconditionally, as in the
+   paper. *)
+let receive_ping t i ~from:j =
+  let p = proc t i in
+  let k = nbr_index p j in
+  if p.inside || (p.phase = Hungry && p.granted.(k) >= t.acks_per_session) then
+    p.deferred.(k) <- true
+  else begin
+    send t ~src:i ~dst:j Ack;
+    if p.phase = Hungry then p.granted.(k) <- p.granted.(k) + 1
+  end
+
+(* Action 4: record a received ack. *)
+let receive_ack t i ~from:j =
+  let p = proc t i in
+  let k = nbr_index p j in
+  p.ack.(k) <- p.phase = Hungry && not p.inside;
+  p.pinged.(k) <- false;
+  try_actions t i
+
+(* Action 7: receive a fork request (the edge token) and grant or defer. *)
+let receive_request t i ~from:j ~color:color_j =
+  let p = proc t i in
+  let k = nbr_index p j in
+  (* Lemma 1.1: the recipient of a fork request holds the requested fork. *)
+  if not p.fork.(k) then
+    raise
+      (Invariant_violation
+         (Printf.sprintf "Lemma 1.1: %d received a fork request from %d without the fork" i j));
+  p.token.(k) <- true;
+  if (not p.inside) || (p.phase = Hungry && p.color < color_j) then begin
+    p.fork.(k) <- false;
+    send t ~src:i ~dst:j Fork
+  end;
+  (* Losing a fork while hungry inside re-enables Action 6. *)
+  try_actions t i
+
+(* Action 8: receive a fork. *)
+let receive_fork t i ~from:j =
+  let p = proc t i in
+  let k = nbr_index p j in
+  (* Per the proof of Lemma 1.1: a fork recipient cannot hold the token. *)
+  if p.token.(k) then
+    raise
+      (Invariant_violation
+         (Printf.sprintf "Lemma 1.1: %d received the fork from %d while holding the token" i j));
+  if p.fork.(k) then
+    raise (Invariant_violation (Printf.sprintf "Lemma 1.2: duplicated fork on edge (%d,%d)" i j));
+  p.fork.(k) <- true;
+  try_actions t i
+
+let dispatch t ~dst ~src msg =
+  let w = wire t src dst (message_kind msg) in
+  w.flying <- w.flying - 1;
+  match msg with
+  | Ping -> receive_ping t dst ~from:src
+  | Ack -> receive_ack t dst ~from:src
+  | Request color -> receive_request t dst ~from:src ~color
+  | Fork -> receive_fork t dst ~from:src
+
+(* ------------------------------------------------------------------ *)
+(* External actions (Actions 1 and 10).                                *)
+(* ------------------------------------------------------------------ *)
+
+let become_hungry t i =
+  if not (Net.Faults.is_crashed t.faults i) then begin
+    let p = proc t i in
+    if p.phase = Thinking then begin
+      p.phase <- Hungry;
+      emit t i "hungry" "";
+      notify_phase t i;
+      try_actions t i
+    end
+  end
+
+(* Action 10: exit the critical section and the doorway; grant all
+   deferred fork requests and deferred acks. *)
+let stop_eating t i =
+  if not (Net.Faults.is_crashed t.faults i) then begin
+    let p = proc t i in
+    if p.phase = Eating then begin
+      p.inside <- false;
+      p.phase <- Thinking;
+      Array.iteri
+        (fun k j ->
+          if p.token.(k) && p.fork.(k) then begin
+            p.fork.(k) <- false;
+            send t ~src:i ~dst:j Fork
+          end)
+        p.nbrs;
+      Array.iteri
+        (fun k j ->
+          if p.deferred.(k) then begin
+            p.deferred.(k) <- false;
+            send t ~src:i ~dst:j Ack
+          end)
+        p.nbrs;
+      emit t i "think" "";
+      notify_phase t i
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Construction.                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let create ~engine ~faults ~graph ~delay ~rng ~detector ?colors ?(trace = Sim.Trace.create ())
+    ?(acks_per_session = 1) () =
+  if acks_per_session < 1 then invalid_arg "Algorithm.create: acks_per_session must be >= 1";
+  let n = Cgraph.Graph.n graph in
+  let colors =
+    match colors with
+    | Some c ->
+        if not (Cgraph.Coloring.is_proper graph c) then
+          invalid_arg "Algorithm.create: colors must be a proper coloring";
+        c
+    | None -> Cgraph.Coloring.greedy graph
+  in
+  let procs =
+    Array.init n (fun i ->
+        let nbrs = Cgraph.Graph.neighbors graph i in
+        let deg = Array.length nbrs in
+        let index_of = Hashtbl.create (max 1 deg) in
+        Array.iteri (fun k j -> Hashtbl.add index_of j k) nbrs;
+        {
+          pid = i;
+          color = colors.(i);
+          nbrs;
+          index_of;
+          phase = Thinking;
+          inside = false;
+          pinged = Array.make deg false;
+          ack = Array.make deg false;
+          granted = Array.make deg 0;
+          deferred = Array.make deg false;
+          (* The fork starts at the higher-colored endpoint, the token at
+             the lower-colored one. *)
+          fork = Array.map (fun j -> colors.(i) > colors.(j)) nbrs;
+          token = Array.map (fun j -> colors.(i) < colors.(j)) nbrs;
+          eats = 0;
+        })
+  in
+  let t =
+    {
+      engine;
+      faults;
+      graph;
+      detector;
+      procs;
+      net = None;
+      listeners = [];
+      wires = Hashtbl.create 64;
+      trace;
+      acks_per_session;
+    }
+  in
+  let network =
+    Net.Network.create ~engine ~graph ~delay ~faults ~rng ~kind:message_kind
+      ~on_drop:(fun ~src ~dst msg ->
+        let w = wire t src dst (message_kind msg) in
+        w.flying <- w.flying - 1;
+        w.absorbed <- w.absorbed + 1)
+      ~handler:(fun ~dst ~src msg -> dispatch t ~dst ~src msg)
+      ()
+  in
+  t.net <- Some network;
+  detector.Fd.Detector.subscribe (fun observer ->
+      if observer >= 0 && observer < n then try_actions t observer);
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Introspection.                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let phase t i = (proc t i).phase
+let inside_doorway t i = (proc t i).inside
+let color t i = (proc t i).color
+let holds_fork t i j = (proc t i).fork.(nbr_index (proc t i) j)
+let holds_token t i j = (proc t i).token.(nbr_index (proc t i) j)
+let eat_count t i = (proc t i).eats
+let total_eats t = Array.fold_left (fun acc p -> acc + p.eats) 0 t.procs
+let add_listener t f = t.listeners <- t.listeners @ [ f ]
+let network_stats t = Net.Network.stats (net t)
+
+let footprint_bits t i =
+  let p = proc t i in
+  let max_color = Array.fold_left (fun acc q -> max acc q.color) 0 t.procs in
+  let rec bits acc v = if v <= 0 then max acc 1 else bits (acc + 1) (v lsr 1) in
+  2 + 1 + bits 0 max_color + (6 * Array.length p.nbrs)
+
+let max_message_bits t =
+  let n = Array.length t.procs in
+  let max_color = Array.fold_left (fun acc q -> max acc q.color) 0 t.procs in
+  List.fold_left
+    (fun acc m -> max acc (message_bits ~n m))
+    0
+    [ Ping; Ack; Request max_color; Fork ]
+
+(* ------------------------------------------------------------------ *)
+(* Executable lemmas.                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let check_invariants t =
+  let fail fmt = Format.kasprintf (fun s -> raise (Invariant_violation s)) fmt in
+  let flying src dst kind =
+    match Hashtbl.find_opt t.wires (src, dst, kind) with Some w -> w.flying | None -> 0
+  in
+  let absorbed src dst kind =
+    match Hashtbl.find_opt t.wires (src, dst, kind) with Some w -> w.absorbed | None -> 0
+  in
+  Array.iter
+    (fun p ->
+      if p.phase = Eating && not p.inside then
+        fail "process %d eats outside the doorway" p.pid;
+      Array.iteri
+        (fun k _j ->
+          if p.ack.(k) && not (p.phase = Hungry && not p.inside) then
+            fail "process %d holds an ack while not hungry-outside" p.pid)
+        p.nbrs)
+    t.procs;
+  Cgraph.Graph.iter_edges t.graph (fun i j ->
+      let pi = proc t i and pj = proc t j in
+      let ki = nbr_index pi j and kj = nbr_index pj i in
+      (* Lemma 1.2 for forks, extended to crash absorption: exactly one
+         fork per edge, wherever it is. *)
+      let forks =
+        (if pi.fork.(ki) then 1 else 0)
+        + (if pj.fork.(kj) then 1 else 0)
+        + flying i j "fork" + flying j i "fork"
+        + absorbed i j "fork" + absorbed j i "fork"
+      in
+      if forks <> 1 then fail "edge (%d,%d): %d forks (expected exactly 1)" i j forks;
+      (* Same conservation for the edge token. *)
+      let tokens =
+        (if pi.token.(ki) then 1 else 0)
+        + (if pj.token.(kj) then 1 else 0)
+        + flying i j "request" + flying j i "request"
+        + absorbed i j "request" + absorbed j i "request"
+      in
+      if tokens <> 1 then fail "edge (%d,%d): %d tokens (expected exactly 1)" i j tokens;
+      (* Lemma 2.2: [pinged] reflects exactly one pending ping. *)
+      let check_ping a b (pa : proc) (pb : proc) ka kb =
+        let pending =
+          flying a b "ping" + absorbed a b "ping"
+          + (if pb.deferred.(kb) then 1 else 0)
+          + flying b a "ack" + absorbed b a "ack"
+        in
+        let expected = if pa.pinged.(ka) then 1 else 0 in
+        if pending <> expected then
+          fail "pair (%d,%d): pinged=%b but %d pending ping/ack artifacts" a b pa.pinged.(ka)
+            pending
+      in
+      check_ping i j pi pj ki kj;
+      check_ping j i pj pi kj ki;
+      (* Section 7: at most 4 dining messages in transit per edge. *)
+      let in_transit =
+        List.fold_left
+          (fun acc kind -> acc + flying i j kind + flying j i kind)
+          0 [ "ping"; "ack"; "request"; "fork" ]
+      in
+      if in_transit > 4 then fail "edge (%d,%d): %d messages in transit (> 4)" i j in_transit)
+
+let pp_process t ppf i =
+  let p = proc t i in
+  Format.fprintf ppf "p%d %s%s c=%d |" i
+    (Types.phase_to_string p.phase)
+    (if p.inside then " inside" else "")
+    p.color;
+  Array.iteri
+    (fun k j ->
+      let bit b ch = if b then Char.uppercase_ascii ch else ch in
+      Format.fprintf ppf " %d:%c%c%c%c%c%c" j
+        (bit p.pinged.(k) 'p')
+        (bit p.ack.(k) 'a')
+        (bit (p.granted.(k) > 0) 'r')
+        (bit p.deferred.(k) 'd')
+        (bit p.fork.(k) 'f')
+        (bit p.token.(k) 't'))
+    p.nbrs
+
+let pp_global t ppf () =
+  Array.iter
+    (fun p ->
+      pp_process t ppf p.pid;
+      if Net.Faults.is_crashed t.faults p.pid then Format.pp_print_string ppf "  [crashed]";
+      Format.pp_print_newline ppf ())
+    t.procs
+
+let instance t =
+  {
+    Instance.name = "song-pike-" ^ t.detector.Fd.Detector.name;
+    become_hungry = become_hungry t;
+    stop_eating = stop_eating t;
+    phase = phase t;
+    add_listener = add_listener t;
+    check_invariants = (fun () -> check_invariants t);
+  }

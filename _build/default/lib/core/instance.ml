@@ -1,0 +1,8 @@
+type t = {
+  name : string;
+  become_hungry : Types.pid -> unit;
+  stop_eating : Types.pid -> unit;
+  phase : Types.pid -> Types.phase;
+  add_listener : (Types.pid -> Types.phase -> unit) -> unit;
+  check_invariants : unit -> unit;
+}

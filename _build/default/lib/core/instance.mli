@@ -1,0 +1,24 @@
+(** Uniform handle on a running dining-based daemon.
+
+    The experiment harness, monitors and the self-stabilization scheduler
+    drive every daemon implementation (Algorithm 1 and the baselines)
+    through this record, so all of them can be compared under identical
+    workloads. *)
+
+type t = {
+  name : string;
+  become_hungry : Types.pid -> unit;
+      (** Action 1: a thinking process requests scheduling. No-op unless
+          the process is thinking and live. *)
+  stop_eating : Types.pid -> unit;
+      (** Ends the critical section (correct processes eat for finite
+          time). No-op unless the process is eating and live. *)
+  phase : Types.pid -> Types.phase;
+  add_listener : (Types.pid -> Types.phase -> unit) -> unit;
+      (** Phase-transition notifications, fired synchronously (in virtual
+          time) at each transition, after the state change. *)
+  check_invariants : unit -> unit;
+      (** Raises {!Types.Invariant_violation} if a structural invariant of
+          the implementation fails; implementations without executable
+          invariants make this a no-op. *)
+}

@@ -1,0 +1,1 @@
+lib/detector/heartbeat.ml: Array Cgraph Detector Hashtbl Net Sim

@@ -1,0 +1,1 @@
+lib/detector/heartbeat.mli: Cgraph Detector Net Sim

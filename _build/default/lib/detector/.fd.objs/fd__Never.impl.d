@@ -1,0 +1,1 @@
+lib/detector/never.ml: Detector

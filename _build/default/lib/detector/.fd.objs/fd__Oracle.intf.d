@@ -1,0 +1,1 @@
+lib/detector/oracle.mli: Cgraph Detector Net Sim

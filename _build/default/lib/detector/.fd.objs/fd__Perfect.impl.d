@@ -1,0 +1,1 @@
+lib/detector/perfect.ml: Array Cgraph Detector Net

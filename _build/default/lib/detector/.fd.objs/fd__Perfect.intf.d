@@ -1,0 +1,1 @@
+lib/detector/perfect.mli: Cgraph Detector Net Sim

@@ -1,0 +1,1 @@
+lib/detector/unreliable.ml: Array Cgraph Detector Hashtbl List Net Option Sim

@@ -1,0 +1,1 @@
+lib/detector/unreliable.mli: Cgraph Detector Net Sim

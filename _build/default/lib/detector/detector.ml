@@ -1,0 +1,7 @@
+type t = {
+  name : string;
+  suspects : observer:int -> target:int -> bool;
+  subscribe : (int -> unit) -> unit;
+}
+
+let notify listeners observer = List.iter (fun f -> f observer) !listeners

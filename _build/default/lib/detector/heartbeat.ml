@@ -1,0 +1,104 @@
+type cell = {
+  mutable last_hb : Sim.Time.t;
+  mutable timeout : int;
+  mutable suspected : bool;
+}
+
+type t = {
+  engine : Sim.Engine.t;
+  faults : Net.Faults.t;
+  cells : (int * int, cell) Hashtbl.t; (* (observer, target) *)
+  mutable last_mistake : Sim.Time.t option;
+  mutable mistakes : int;
+  listeners : (int -> unit) list ref;
+}
+
+let cell t observer target =
+  match Hashtbl.find_opt t.cells (observer, target) with
+  | Some c -> c
+  | None -> invalid_arg "Heartbeat: not a neighbor pair"
+
+let create ~engine ~faults ~graph ~delay ~rng ?(period = 20) ?(initial_timeout = 30)
+    ?(bump = 25) () =
+  if period <= 0 || initial_timeout <= 0 || bump <= 0 then
+    invalid_arg "Heartbeat.create: parameters must be positive";
+  let t =
+    {
+      engine;
+      faults;
+      cells = Hashtbl.create 64;
+      last_mistake = None;
+      mistakes = 0;
+      listeners = ref [];
+    }
+  in
+  let n = Cgraph.Graph.n graph in
+  for i = 0 to n - 1 do
+    Array.iter
+      (fun j ->
+        Hashtbl.add t.cells (i, j)
+          { last_hb = Sim.Time.zero; timeout = initial_timeout; suspected = false })
+      (Cgraph.Graph.neighbors graph i)
+  done;
+  (* Monitoring side: while [observer] does not suspect [target], exactly one
+     check event is pending; a suspicion freezes checking until a heartbeat
+     arrives and resets it. *)
+  let rec schedule_check observer target at =
+    ignore
+      (Sim.Engine.schedule engine ~at (fun () ->
+           if not (Net.Faults.is_crashed faults observer) then begin
+             let c = cell t observer target in
+             if not c.suspected then begin
+               let deadline = Sim.Time.add c.last_hb c.timeout in
+               let now = Sim.Engine.now engine in
+               if now >= deadline then begin
+                 c.suspected <- true;
+                 if not (Net.Faults.is_crashed faults target) then begin
+                   t.mistakes <- t.mistakes + 1;
+                   t.last_mistake <- Some now
+                 end;
+                 Detector.notify t.listeners observer
+               end
+               else schedule_check observer target deadline
+             end
+           end))
+  in
+  let handler ~dst ~src () =
+    let c = cell t dst src in
+    c.last_hb <- Sim.Engine.now engine;
+    if c.suspected then begin
+      c.suspected <- false;
+      c.timeout <- c.timeout + bump;
+      Detector.notify t.listeners dst;
+      schedule_check dst src (Sim.Time.add c.last_hb c.timeout)
+    end
+  in
+  let net =
+    Net.Network.create ~engine ~graph ~delay ~faults ~rng
+      ~kind:(fun () -> "heartbeat")
+      ~handler ()
+  in
+  (* Sending side: each process broadcasts a heartbeat to its neighborhood
+     every [period] ticks, with a per-process phase jitter. *)
+  for i = 0 to n - 1 do
+    let rec beat () =
+      if not (Net.Faults.is_crashed faults i) then begin
+        Array.iter (fun j -> Net.Network.send net ~src:i ~dst:j ()) (Cgraph.Graph.neighbors graph i);
+        ignore (Sim.Engine.schedule_after engine ~delay:period beat)
+      end
+    in
+    ignore (Sim.Engine.schedule engine ~at:(Sim.Rng.int rng period) beat);
+    Array.iter (fun j -> schedule_check i j initial_timeout) (Cgraph.Graph.neighbors graph i)
+  done;
+  let detector =
+    {
+      Detector.name = "heartbeat-evp";
+      suspects = (fun ~observer ~target -> (cell t observer target).suspected);
+      subscribe = (fun f -> t.listeners := !(t.listeners) @ [ f ]);
+    }
+  in
+  (t, detector)
+
+let last_mistake t = t.last_mistake
+let mistakes t = t.mistakes
+let timeout t ~observer ~target = (cell t observer target).timeout

@@ -1,0 +1,6 @@
+let create () =
+  {
+    Detector.name = "never";
+    suspects = (fun ~observer:_ ~target:_ -> false);
+    subscribe = (fun _ -> ());
+  }

@@ -1,0 +1,8 @@
+(** The empty detector: never suspects anyone.
+
+    Instantiating Algorithm 1 with this detector erases every oracle guard
+    and yields the original asynchronous doorway algorithm of Choy–Singh —
+    safe, but not wait-free: a crashed neighbor blocks its hungry neighbors
+    forever. Used as the crash-intolerant baseline. *)
+
+val create : unit -> Detector.t

@@ -1,0 +1,98 @@
+type fp = { observer : int; target : int; from_t : Sim.Time.t; till_t : Sim.Time.t }
+
+type t = {
+  engine : Sim.Engine.t;
+  faults : Net.Faults.t;
+  detection_delay : int;
+  false_positives : fp list;
+  fp_active : (int * int, int) Hashtbl.t; (* (observer, target) -> open window count *)
+  permanent : (int * int, unit) Hashtbl.t; (* completeness suspicions, never removed *)
+  listeners : (int -> unit) list ref;
+}
+
+let suspects t ~observer ~target =
+  Hashtbl.mem t.permanent (observer, target)
+  || Option.value (Hashtbl.find_opt t.fp_active (observer, target)) ~default:0 > 0
+
+let validate_fp graph fp =
+  if fp.from_t >= fp.till_t then invalid_arg "Oracle: empty false-positive window";
+  if not (Cgraph.Graph.is_edge graph fp.observer fp.target) then
+    invalid_arg "Oracle: false positive between non-neighbors"
+
+let create engine faults graph ?(detection_delay = 50) ?(false_positives = []) () =
+  List.iter (validate_fp graph) false_positives;
+  let t =
+    {
+      engine;
+      faults;
+      detection_delay;
+      false_positives;
+      fp_active = Hashtbl.create 16;
+      permanent = Hashtbl.create 16;
+      listeners = ref [];
+    }
+  in
+  let bump key delta =
+    let before = suspects t ~observer:(fst key) ~target:(snd key) in
+    let count = Option.value (Hashtbl.find_opt t.fp_active key) ~default:0 in
+    Hashtbl.replace t.fp_active key (count + delta);
+    let after = suspects t ~observer:(fst key) ~target:(snd key) in
+    if before <> after then Detector.notify t.listeners (fst key)
+  in
+  List.iter
+    (fun fp ->
+      let key = (fp.observer, fp.target) in
+      ignore (Sim.Engine.schedule engine ~at:fp.from_t (fun () -> bump key 1));
+      ignore (Sim.Engine.schedule engine ~at:fp.till_t (fun () -> bump key (-1))))
+    false_positives;
+  Net.Faults.on_crash faults (fun crashed ->
+      Array.iter
+        (fun neighbor ->
+          ignore
+            (Sim.Engine.schedule_after engine ~delay:detection_delay (fun () ->
+                 if not (Net.Faults.is_crashed faults neighbor) then begin
+                   let key = (neighbor, crashed) in
+                   if not (Hashtbl.mem t.permanent key) then begin
+                     let before = suspects t ~observer:neighbor ~target:crashed in
+                     Hashtbl.add t.permanent key ();
+                     if not before then Detector.notify t.listeners neighbor
+                   end
+                 end)))
+        (Cgraph.Graph.neighbors graph crashed));
+  let detector =
+    {
+      Detector.name = "oracle-evp";
+      suspects = (fun ~observer ~target -> suspects t ~observer ~target);
+      subscribe = (fun f -> t.listeners := !(t.listeners) @ [ f ]);
+    }
+  in
+  (t, detector)
+
+let convergence_time t =
+  let fp_end =
+    List.fold_left (fun acc fp -> Sim.Time.max acc fp.till_t) Sim.Time.zero t.false_positives
+  in
+  let detect_end = ref Sim.Time.zero in
+  for pid = 0 to Net.Faults.n t.faults - 1 do
+    let ct = Net.Faults.crash_time t.faults pid in
+    if Sim.Time.is_finite ct then
+      detect_end := Sim.Time.max !detect_end (Sim.Time.add ct t.detection_delay)
+  done;
+  Sim.Time.max fp_end !detect_end
+
+let random_false_positives rng graph ~before ~per_edge ~max_len =
+  if before <= 0 then []
+  else begin
+    let acc = ref [] in
+    Cgraph.Graph.iter_edges graph (fun a b ->
+        List.iter
+          (fun (observer, target) ->
+            for _ = 1 to per_edge do
+              let from_t = Sim.Rng.int rng before in
+              let len = Sim.Rng.int_in rng 1 max_len in
+              let till_t = min before (from_t + len) in
+              if till_t > from_t then acc := { observer; target; from_t; till_t } :: !acc
+            done)
+          [ (a, b); (b, a) ]);
+    !acc
+  end

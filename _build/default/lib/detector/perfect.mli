@@ -1,0 +1,9 @@
+(** A (perpetually) perfect detector: suspects a process exactly from the
+    instant it crashes, with zero detection latency and no false
+    positives.
+
+    Strictly stronger than the paper's ◇P₁; used as the upper-bound
+    comparator (with it, Algorithm 1 satisfies perpetual weak exclusion —
+    no scheduling mistakes at all). *)
+
+val create : Sim.Engine.t -> Net.Faults.t -> Cgraph.Graph.t -> Detector.t

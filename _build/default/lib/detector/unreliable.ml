@@ -1,0 +1,58 @@
+let create engine faults graph rng ?(detection_delay = 50) ?(period = 2_000) ?(duration = 150)
+    ~horizon () =
+  if period <= 0 || duration <= 0 || duration >= period then
+    invalid_arg "Unreliable.create: need 0 < duration < period";
+  let listeners = ref [] in
+  let fp_active : (int * int, bool) Hashtbl.t = Hashtbl.create 64 in
+  let permanent : (int * int, unit) Hashtbl.t = Hashtbl.create 16 in
+  let set key v =
+    let cur = Option.value (Hashtbl.find_opt fp_active key) ~default:false in
+    if cur <> v then begin
+      Hashtbl.replace fp_active key v;
+      if not (Hashtbl.mem permanent key) then Detector.notify listeners (fst key)
+    end
+  in
+  (* Recurrent false suspicion of every directed neighbor pair, forever
+     (up to the horizon), with a per-pair phase. *)
+  Cgraph.Graph.iter_edges graph (fun a b ->
+      List.iter
+        (fun (observer, target) ->
+          let phase = Sim.Rng.int rng period in
+          let rec wave start =
+            if start <= horizon then begin
+              ignore
+                (Sim.Engine.schedule engine ~at:start (fun () ->
+                     if not (Net.Faults.is_crashed faults observer) then
+                       set (observer, target) true));
+              ignore
+                (Sim.Engine.schedule engine
+                   ~at:(Sim.Time.add start duration)
+                   (fun () -> set (observer, target) false));
+              wave (Sim.Time.add start period)
+            end
+          in
+          wave phase)
+        [ (a, b); (b, a) ]);
+  (* Completeness, as in the scripted oracle. *)
+  Net.Faults.on_crash faults (fun crashed ->
+      Array.iter
+        (fun neighbor ->
+          ignore
+            (Sim.Engine.schedule_after engine ~delay:detection_delay (fun () ->
+                 if not (Net.Faults.is_crashed faults neighbor) then begin
+                   let key = (neighbor, crashed) in
+                   if not (Hashtbl.mem permanent key) then begin
+                     let before = Option.value (Hashtbl.find_opt fp_active key) ~default:false in
+                     Hashtbl.add permanent key ();
+                     if not before then Detector.notify listeners neighbor
+                   end
+                 end)))
+        (Cgraph.Graph.neighbors graph crashed));
+  {
+    Detector.name = "unreliable-forever";
+    suspects =
+      (fun ~observer ~target ->
+        Hashtbl.mem permanent (observer, target)
+        || Option.value (Hashtbl.find_opt fp_active (observer, target)) ~default:false);
+    subscribe = (fun f -> listeners := !listeners @ [ f ]);
+  }

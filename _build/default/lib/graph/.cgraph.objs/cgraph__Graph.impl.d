@@ -1,0 +1,1 @@
+lib/graph/graph.ml: Array Buffer Format Fun Hashtbl List Printf Queue

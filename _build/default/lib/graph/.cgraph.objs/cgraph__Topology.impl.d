@@ -1,0 +1,1 @@
+lib/graph/topology.ml: Array Fun Graph Int64 List Printf Sim String

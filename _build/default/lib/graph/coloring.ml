@@ -1,0 +1,38 @@
+let greedy g =
+  let n = Graph.n g in
+  let order = Array.init n Fun.id in
+  (* Highest degree first; ties by lower id for determinism. *)
+  Array.sort
+    (fun a b ->
+      match compare (Graph.degree g b) (Graph.degree g a) with
+      | 0 -> compare a b
+      | c -> c)
+    order;
+  let colors = Array.make n (-1) in
+  let used = Array.make (Graph.max_degree g + 1) false in
+  Array.iter
+    (fun v ->
+      Array.fill used 0 (Array.length used) false;
+      Array.iter
+        (fun u -> if colors.(u) >= 0 then used.(colors.(u)) <- true)
+        (Graph.neighbors g v);
+      let c = ref 0 in
+      while used.(!c) do
+        incr c
+      done;
+      colors.(v) <- !c)
+    order;
+  colors
+
+let is_proper g colors =
+  Array.length colors = Graph.n g
+  && Array.for_all (fun c -> c >= 0) colors
+  &&
+  let ok = ref true in
+  Graph.iter_edges g (fun a b -> if colors.(a) = colors.(b) then ok := false);
+  !ok
+
+let color_count colors =
+  let seen = Hashtbl.create 16 in
+  Array.iter (fun c -> Hashtbl.replace seen c ()) colors;
+  Hashtbl.length seen

@@ -1,0 +1,18 @@
+(** Proper vertex colorings used as static process priorities.
+
+    Algorithm 1 resolves symmetric fork conflicts by static priority: a
+    process with a higher color beats any neighbor. The paper assumes
+    locally-unique colors computed by a standard approximation algorithm
+    with O(delta) distinct values. *)
+
+val greedy : Graph.t -> int array
+(** Largest-degree-first greedy coloring. Returns an array mapping each
+    vertex to a color in [\[0, delta\]]; adjacent vertices get distinct
+    colors. *)
+
+val is_proper : Graph.t -> int array -> bool
+(** Whether no edge joins two equally-colored vertices (and the array has
+    the right length). *)
+
+val color_count : int array -> int
+(** Number of distinct colors used. *)

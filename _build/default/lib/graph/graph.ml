@@ -1,0 +1,123 @@
+type pid = int
+
+type t = { n : int; adj : pid array array; edges : (pid * pid) list }
+
+let of_edges ~n edge_list =
+  if n <= 0 then invalid_arg "Graph.of_edges: n must be positive";
+  let seen = Hashtbl.create (List.length edge_list) in
+  let canonical =
+    List.filter_map
+      (fun (a, b) ->
+        if a < 0 || a >= n || b < 0 || b >= n then
+          invalid_arg (Printf.sprintf "Graph.of_edges: endpoint out of range (%d, %d)" a b);
+        if a = b then invalid_arg "Graph.of_edges: self-loop";
+        let e = (min a b, max a b) in
+        if Hashtbl.mem seen e then None
+        else begin
+          Hashtbl.add seen e ();
+          Some e
+        end)
+      edge_list
+  in
+  let canonical = List.sort compare canonical in
+  let deg = Array.make n 0 in
+  List.iter
+    (fun (a, b) ->
+      deg.(a) <- deg.(a) + 1;
+      deg.(b) <- deg.(b) + 1)
+    canonical;
+  let adj = Array.init n (fun i -> Array.make deg.(i) 0) in
+  let fill = Array.make n 0 in
+  List.iter
+    (fun (a, b) ->
+      adj.(a).(fill.(a)) <- b;
+      fill.(a) <- fill.(a) + 1;
+      adj.(b).(fill.(b)) <- a;
+      fill.(b) <- fill.(b) + 1)
+    canonical;
+  Array.iter (fun row -> Array.sort compare row) adj;
+  { n; adj; edges = canonical }
+
+let n t = t.n
+let edges t = t.edges
+let edge_count t = List.length t.edges
+let neighbors t i = t.adj.(i)
+let degree t i = Array.length t.adj.(i)
+
+let max_degree t =
+  Array.fold_left (fun acc row -> max acc (Array.length row)) 0 t.adj
+
+let is_edge t i j =
+  if i = j then false
+  else begin
+    (* Binary search in the sorted neighbor row of the lower-degree endpoint. *)
+    let row, key = if degree t i <= degree t j then (t.adj.(i), j) else (t.adj.(j), i) in
+    let rec search lo hi =
+      if lo >= hi then false
+      else begin
+        let mid = (lo + hi) / 2 in
+        if row.(mid) = key then true
+        else if row.(mid) < key then search (mid + 1) hi
+        else search lo mid
+      end
+    in
+    search 0 (Array.length row)
+  end
+
+let iter_edges t f = List.iter (fun (a, b) -> f a b) t.edges
+
+let fold_vertices t ~init ~f =
+  let acc = ref init in
+  for i = 0 to t.n - 1 do
+    acc := f !acc i
+  done;
+  !acc
+
+let is_connected t =
+  let visited = Array.make t.n false in
+  let rec dfs i =
+    if not visited.(i) then begin
+      visited.(i) <- true;
+      Array.iter dfs t.adj.(i)
+    end
+  in
+  dfs 0;
+  Array.for_all Fun.id visited
+
+let distances_from t source =
+  if source < 0 || source >= t.n then invalid_arg "Graph.distances_from: bad vertex";
+  let dist = Array.make t.n t.n in
+  let queue = Queue.create () in
+  dist.(source) <- 0;
+  Queue.add source queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    Array.iter
+      (fun v ->
+        if dist.(v) > dist.(u) + 1 then begin
+          dist.(v) <- dist.(u) + 1;
+          Queue.add v queue
+        end)
+      t.adj.(u)
+  done;
+  dist
+
+let pp ppf t =
+  Format.fprintf ppf "graph(n=%d, m=%d)" t.n (edge_count t)
+
+let to_dot ?(name = "conflict") ?(vertex_label = string_of_int) ?(vertex_color = fun _ -> None)
+    t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "graph %s {\n  node [shape=circle];\n" name);
+  for i = 0 to t.n - 1 do
+    let attrs =
+      match vertex_color i with
+      | Some color ->
+          Printf.sprintf "label=\"%s\", style=filled, fillcolor=\"%s\"" (vertex_label i) color
+      | None -> Printf.sprintf "label=\"%s\"" (vertex_label i)
+    in
+    Buffer.add_string buf (Printf.sprintf "  %d [%s];\n" i attrs)
+  done;
+  List.iter (fun (a, b) -> Buffer.add_string buf (Printf.sprintf "  %d -- %d;\n" a b)) t.edges;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,53 @@
+(** Undirected conflict graphs.
+
+    A dining instance is an undirected graph [C = (Pi, E)] where vertices
+    are processes and an edge [(i, j)] means that [i] and [j] share a fork
+    (their actions conflict). Processes are numbered [0 .. n-1]. *)
+
+type pid = int
+
+type t
+
+val of_edges : n:int -> (pid * pid) list -> t
+(** Build a graph on [n] vertices from an edge list. Self-loops are
+    rejected; duplicate edges (in either orientation) are deduplicated.
+    Raises [Invalid_argument] on out-of-range endpoints or [n <= 0]. *)
+
+val n : t -> int
+(** Number of vertices. *)
+
+val edges : t -> (pid * pid) list
+(** Edge list, each edge once with the smaller endpoint first, sorted. *)
+
+val edge_count : t -> int
+
+val neighbors : t -> pid -> pid array
+(** Sorted array of neighbors of a vertex. The returned array is owned by
+    the graph; callers must not mutate it. *)
+
+val degree : t -> pid -> int
+val max_degree : t -> int
+val is_edge : t -> pid -> pid -> bool
+val iter_edges : t -> (pid -> pid -> unit) -> unit
+val fold_vertices : t -> init:'a -> f:('a -> pid -> 'a) -> 'a
+
+val is_connected : t -> bool
+(** Whether every vertex is reachable from vertex 0 (true for n = 1). *)
+
+val distances_from : t -> pid -> int array
+(** BFS hop distances from the given vertex; unreachable vertices get
+    [n]. Used e.g. to measure how far from a crash site an effect
+    (starvation, delay) spreads. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_dot :
+  ?name:string ->
+  ?vertex_label:(pid -> string) ->
+  ?vertex_color:(pid -> string option) ->
+  t ->
+  string
+(** Graphviz (dot) rendering of the conflict graph. [vertex_label]
+    defaults to the pid; [vertex_color] (an X11 color name or RGB string)
+    fills the vertex when given — used by the CLI to visualise colorings
+    and crash states. *)

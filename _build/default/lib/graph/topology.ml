@@ -1,0 +1,189 @@
+type spec =
+  | Ring of int
+  | Path of int
+  | Clique of int
+  | Star of int
+  | Grid of int * int
+  | Torus of int * int
+  | Binary_tree of int
+  | Hypercube of int
+  | Wheel of int
+  | Bipartite of int * int
+  | Random_gnp of int * float * int64
+
+let check cond msg = if not cond then invalid_arg ("Topology.build: " ^ msg)
+
+let ring n =
+  check (n >= 3) "ring needs n >= 3";
+  Graph.of_edges ~n (List.init n (fun i -> (i, (i + 1) mod n)))
+
+let path n =
+  check (n >= 2) "path needs n >= 2";
+  Graph.of_edges ~n (List.init (n - 1) (fun i -> (i, i + 1)))
+
+let clique n =
+  check (n >= 2) "clique needs n >= 2";
+  let edges = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      edges := (i, j) :: !edges
+    done
+  done;
+  Graph.of_edges ~n !edges
+
+let star n =
+  check (n >= 2) "star needs n >= 2";
+  Graph.of_edges ~n (List.init (n - 1) (fun i -> (0, i + 1)))
+
+let grid rows cols =
+  check (rows >= 1 && cols >= 1 && rows * cols >= 2) "grid needs >= 2 vertices";
+  let id r c = (r * cols) + c in
+  let edges = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then edges := (id r c, id r (c + 1)) :: !edges;
+      if r + 1 < rows then edges := (id r c, id (r + 1) c) :: !edges
+    done
+  done;
+  Graph.of_edges ~n:(rows * cols) !edges
+
+let torus rows cols =
+  check (rows >= 3 && cols >= 3) "torus needs rows, cols >= 3";
+  let id r c = (r * cols) + c in
+  let edges = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      edges := (id r c, id r ((c + 1) mod cols)) :: !edges;
+      edges := (id r c, id ((r + 1) mod rows) c) :: !edges
+    done
+  done;
+  Graph.of_edges ~n:(rows * cols) !edges
+
+let binary_tree n =
+  check (n >= 2) "binary tree needs n >= 2";
+  Graph.of_edges ~n (List.init (n - 1) (fun i -> (((i + 1) - 1) / 2, i + 1)))
+
+let hypercube d =
+  check (d >= 1 && d <= 16) "hypercube needs 1 <= d <= 16";
+  let n = 1 lsl d in
+  let edges = ref [] in
+  for i = 0 to n - 1 do
+    for b = 0 to d - 1 do
+      let j = i lxor (1 lsl b) in
+      if i < j then edges := (i, j) :: !edges
+    done
+  done;
+  Graph.of_edges ~n !edges
+
+let wheel n =
+  check (n >= 4) "wheel needs n >= 4";
+  (* Vertex 0 is the hub; 1 .. n-1 form the rim cycle. *)
+  let rim = n - 1 in
+  let edges = ref [] in
+  for k = 0 to rim - 1 do
+    edges := (0, k + 1) :: (k + 1, ((k + 1) mod rim) + 1) :: !edges
+  done;
+  Graph.of_edges ~n !edges
+
+let bipartite a b =
+  check (a >= 1 && b >= 1) "bipartite needs both sides non-empty";
+  let edges = ref [] in
+  for i = 0 to a - 1 do
+    for j = 0 to b - 1 do
+      edges := (i, a + j) :: !edges
+    done
+  done;
+  Graph.of_edges ~n:(a + b) !edges
+
+let random_gnp n p seed =
+  check (n >= 2) "gnp needs n >= 2";
+  check (p >= 0.0 && p <= 1.0) "gnp needs 0 <= p <= 1";
+  let rng = Sim.Rng.create seed in
+  (* Random spanning chain first so that the graph is connected, then each
+     remaining pair independently with probability p. *)
+  let order = Array.init n Fun.id in
+  Sim.Rng.shuffle rng order;
+  let edges = ref [] in
+  for i = 0 to n - 2 do
+    edges := (order.(i), order.(i + 1)) :: !edges
+  done;
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if Sim.Rng.float rng < p then edges := (i, j) :: !edges
+    done
+  done;
+  Graph.of_edges ~n !edges
+
+let build = function
+  | Ring n -> ring n
+  | Path n -> path n
+  | Clique n -> clique n
+  | Star n -> star n
+  | Grid (r, c) -> grid r c
+  | Torus (r, c) -> torus r c
+  | Binary_tree n -> binary_tree n
+  | Hypercube d -> hypercube d
+  | Wheel n -> wheel n
+  | Bipartite (a, b) -> bipartite a b
+  | Random_gnp (n, p, seed) -> random_gnp n p seed
+
+let name = function
+  | Ring n -> Printf.sprintf "ring-%d" n
+  | Path n -> Printf.sprintf "path-%d" n
+  | Clique n -> Printf.sprintf "clique-%d" n
+  | Star n -> Printf.sprintf "star-%d" n
+  | Grid (r, c) -> Printf.sprintf "grid-%dx%d" r c
+  | Torus (r, c) -> Printf.sprintf "torus-%dx%d" r c
+  | Binary_tree n -> Printf.sprintf "tree-%d" n
+  | Hypercube d -> Printf.sprintf "cube-%d" d
+  | Wheel n -> Printf.sprintf "wheel-%d" n
+  | Bipartite (a, b) -> Printf.sprintf "bipartite-%dx%d" a b
+  | Random_gnp (n, p, seed) -> Printf.sprintf "gnp-%d-%.2f-%Ld" n p seed
+
+let parse s =
+  let parts = String.split_on_char ':' s in
+  let int x = int_of_string_opt x in
+  let dims x =
+    match String.split_on_char 'x' x with
+    | [ a; b ] -> ( match (int a, int b) with Some a, Some b -> Some (a, b) | _ -> None)
+    | _ -> None
+  in
+  let err () = Error (Printf.sprintf "cannot parse topology %S" s) in
+  match parts with
+  | [ "ring"; x ] -> ( match int x with Some n -> Ok (Ring n) | None -> err ())
+  | [ "path"; x ] -> ( match int x with Some n -> Ok (Path n) | None -> err ())
+  | [ "clique"; x ] -> ( match int x with Some n -> Ok (Clique n) | None -> err ())
+  | [ "star"; x ] -> ( match int x with Some n -> Ok (Star n) | None -> err ())
+  | [ "grid"; x ] -> ( match dims x with Some (r, c) -> Ok (Grid (r, c)) | None -> err ())
+  | [ "torus"; x ] -> ( match dims x with Some (r, c) -> Ok (Torus (r, c)) | None -> err ())
+  | [ "tree"; x ] -> ( match int x with Some n -> Ok (Binary_tree n) | None -> err ())
+  | [ "cube"; x ] -> ( match int x with Some d -> Ok (Hypercube d) | None -> err ())
+  | [ "wheel"; x ] -> ( match int x with Some n -> Ok (Wheel n) | None -> err ())
+  | [ "bipartite"; x ] -> (
+      match dims x with Some (a, b) -> Ok (Bipartite (a, b)) | None -> err ())
+  | [ "gnp"; x; pstr ] | [ "gnp"; x; pstr; _ ] -> (
+      let seed =
+        match parts with
+        | [ _; _; _; seedstr ] -> Int64.of_string_opt seedstr
+        | _ -> Some 1L
+      in
+      match (int x, float_of_string_opt pstr, seed) with
+      | Some n, Some p, Some seed -> Ok (Random_gnp (n, p, seed))
+      | _ -> err ())
+  | _ -> err ()
+
+let all_small =
+  [
+    Ring 5;
+    Ring 12;
+    Path 8;
+    Clique 6;
+    Star 9;
+    Grid (3, 4);
+    Torus (3, 3);
+    Binary_tree 10;
+    Hypercube 3;
+    Wheel 7;
+    Bipartite (3, 4);
+    Random_gnp (14, 0.25, 7L);
+  ]

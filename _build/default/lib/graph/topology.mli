@@ -1,0 +1,33 @@
+(** Standard conflict-graph topologies.
+
+    These cover the shapes the dining literature evaluates on: Dijkstra's
+    original ring, cliques (worst-case degree), sparse structured graphs
+    (paths, trees, grids, hypercubes) and random graphs. *)
+
+type spec =
+  | Ring of int        (** cycle on n >= 3 vertices *)
+  | Path of int        (** line on n >= 2 vertices *)
+  | Clique of int      (** complete graph on n >= 2 vertices *)
+  | Star of int        (** one hub, n-1 leaves, n >= 2 *)
+  | Grid of int * int  (** rows x cols 4-neighbor mesh *)
+  | Torus of int * int (** rows x cols wrap-around mesh, both >= 3 *)
+  | Binary_tree of int (** complete-ish binary tree on n >= 2 vertices *)
+  | Hypercube of int   (** dimension d >= 1, 2^d vertices *)
+  | Wheel of int       (** a hub joined to every vertex of an (n-1)-cycle, n >= 4 *)
+  | Bipartite of int * int
+      (** complete bipartite K_{a,b}: the first a vertices vs the rest *)
+  | Random_gnp of int * float * int64
+      (** [Random_gnp (n, p, seed)]: G(n, p) conditioned on connectivity by
+          adding a random spanning chain first. *)
+
+val build : spec -> Graph.t
+
+val name : spec -> string
+(** Short stable name, e.g. ["ring-8"], used in reports. *)
+
+val parse : string -> (spec, string) result
+(** Inverse of {!name} for the CLI: accepts strings like ["ring:8"],
+    ["grid:4x5"], ["gnp:20:0.2:42"]. *)
+
+val all_small : spec list
+(** A representative assortment used by tests and experiments. *)

@@ -1,0 +1,1 @@
+lib/harness/batch.ml: Format Int64 List Monitor Net Run Scenario Stats

@@ -1,0 +1,1 @@
+lib/harness/batch.mli: Format Scenario Stats

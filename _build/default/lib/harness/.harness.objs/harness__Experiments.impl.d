@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Array Batch Cgraph Dining Fd List Monitor Net Option Printf Run Run_stabilize Scenario Sim Stats String

@@ -1,0 +1,1 @@
+lib/harness/run.ml: Array Cgraph Dining List Monitor Net Scenario Setup Sim Workload

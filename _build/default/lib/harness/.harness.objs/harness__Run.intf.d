@@ -1,0 +1,1 @@
+lib/harness/run.mli: Cgraph Dining Monitor Net Scenario Sim

@@ -1,0 +1,1 @@
+lib/harness/run_stabilize.ml: Cgraph Dining List Scenario Setup Sim Stabilize

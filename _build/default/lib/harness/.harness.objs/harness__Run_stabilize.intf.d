@@ -1,0 +1,1 @@
+lib/harness/run_stabilize.mli: Scenario Sim Stabilize

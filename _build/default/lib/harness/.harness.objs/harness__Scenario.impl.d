@@ -1,0 +1,1 @@
+lib/harness/scenario.ml: Cgraph Net Sim

@@ -1,0 +1,1 @@
+lib/harness/setup.ml: Array Baselines Cgraph Dining Fd Fun List Net Scenario Sim

@@ -1,0 +1,1 @@
+lib/harness/setup.mli: Cgraph Dining Fd Net Scenario Sim

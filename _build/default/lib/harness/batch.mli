@@ -1,0 +1,23 @@
+(** Multi-seed batches: run the same scenario across independent seeds
+    and aggregate — the paper's "for every run" claims are checked over a
+    sample of runs rather than one lucky schedule. *)
+
+type aggregate = {
+  runs : int;
+  total_eats : Stats.Summary.t;          (** distribution over runs *)
+  response_mean : Stats.Summary.t;        (** per-run mean response *)
+  response_p99 : Stats.Summary.t;         (** per-run p99 response *)
+  violations : Stats.Summary.t;           (** per-run violation counts *)
+  violations_after_conv_total : int;      (** summed; Theorem 1 says 0 *)
+  max_overtakes_after_conv : int;         (** worst across runs; Theorem 3 says <= 2 *)
+  starved_total : int;                    (** summed; Theorem 2 says 0 *)
+  worst_edge_watermark : int;             (** worst across runs; Section 7 says <= 4 *)
+  invariant_errors : string list;         (** should be empty *)
+}
+
+val run : ?seeds:int -> Scenario.t -> aggregate
+(** [run ~seeds scenario] executes the scenario under seeds
+    [1 .. seeds] (default 10), replacing the scenario's own seed, and
+    aggregates. Starvation patience is 1/4 of the horizon. *)
+
+val pp : Format.formatter -> aggregate -> unit

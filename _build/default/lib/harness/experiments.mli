@@ -1,0 +1,29 @@
+(** The reproduction suite.
+
+    The paper (an algorithms paper) states its results as theorems rather
+    than measured tables; every experiment here operationalises one claim
+    (see DESIGN.md for the mapping) and regenerates a table or an ASCII
+    figure. Experiments are deterministic: same build, same output. *)
+
+type artifact =
+  | Table of Stats.Table.t
+  | Series of Stats.Series.t
+  | Note of string
+
+type t = {
+  id : string;       (** "e1" .. "e8", "f1" .. "f4" *)
+  title : string;
+  claim : string;    (** the paper claim being reproduced *)
+  run : unit -> artifact list;
+}
+
+val all : t list
+(** In presentation order: E1..E8 then F1..F4. *)
+
+val find : string -> t option
+(** Lookup by case-insensitive id. *)
+
+val run_and_print : t -> unit
+(** Execute and print all artifacts, with a header naming the claim. *)
+
+val print_artifact : artifact -> unit

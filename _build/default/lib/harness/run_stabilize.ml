@@ -1,0 +1,67 @@
+type protocol_kind = Coloring | Token_ring | Matching | Bfs_tree
+
+type spec = {
+  scenario : Scenario.t;
+  protocol : protocol_kind;
+  transient_faults : (Sim.Time.t * int) list;
+}
+
+type report = {
+  spec : spec;
+  outcome : Stabilize.Scheduler.outcome;
+  convergence : Sim.Time.t;
+  crashed : (int * Sim.Time.t) list;
+  total_eats : int;
+  invariant_error : string option;
+}
+
+let protocol_name = function
+  | Coloring -> "coloring"
+  | Token_ring -> "token-ring"
+  | Matching -> "matching"
+  | Bfs_tree -> "bfs-tree"
+
+let make_protocol kind ~graph =
+  match kind with
+  | Coloring -> Stabilize.Coloring_protocol.make ~graph
+  | Token_ring ->
+      let n = Cgraph.Graph.n graph in
+      (* Sanity: the daemon's conflict graph must be the ring the protocol
+         assumes. *)
+      if Cgraph.Graph.edge_count graph <> n || Cgraph.Graph.max_degree graph <> 2 then
+        invalid_arg "Run_stabilize: token ring needs a ring topology";
+      Stabilize.Token_ring.make ~n ()
+  | Matching -> Stabilize.Matching.make ()
+  | Bfs_tree -> Stabilize.Bfs_tree.make ~graph
+
+let run spec =
+  let s = spec.scenario in
+  let parts = Setup.build s in
+  let { Setup.engine; faults; graph; rng; crashed; instance; _ } = parts in
+  let protocol = make_protocol spec.protocol ~graph in
+  let scheduler =
+    Stabilize.Scheduler.attach ~engine ~faults ~graph
+      ~rng:(Sim.Rng.split_named rng "stabilize")
+      ~protocol instance
+  in
+  List.iter
+    (fun (at, victims) -> Stabilize.Scheduler.schedule_faults scheduler ~at:[ at ] ~victims)
+    spec.transient_faults;
+  let eats = ref 0 in
+  instance.add_listener (fun _ phase -> if phase = Dining.Types.Eating then incr eats);
+  Sim.Engine.run engine ~until:s.horizon;
+  let invariant_error =
+    try
+      instance.check_invariants ();
+      None
+    with Dining.Types.Invariant_violation msg -> Some msg
+  in
+  let convergence, _ = Setup.convergence parts in
+  {
+    spec;
+    outcome = Stabilize.Scheduler.outcome scheduler;
+    convergence;
+    crashed;
+    total_eats = !eats;
+    invariant_error;
+  }

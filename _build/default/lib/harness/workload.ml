@@ -1,0 +1,29 @@
+type t = { mutable hungry_transitions : int }
+
+let sample rng (lo, hi) =
+  if lo > hi then invalid_arg "Workload: empty range";
+  if lo = hi then lo else Sim.Rng.int_in rng lo hi
+
+let attach ~engine ~faults ~n ~rng ~workload (instance : Dining.Instance.t) =
+  let t = { hungry_transitions = 0 } in
+  let think_delay () = sample rng workload.Scenario.think in
+  let eat_delay () = max 1 (sample rng workload.Scenario.eat) in
+  instance.add_listener (fun pid phase ->
+      match phase with
+      | Dining.Types.Hungry -> t.hungry_transitions <- t.hungry_transitions + 1
+      | Dining.Types.Eating ->
+          ignore
+            (Sim.Engine.schedule_after engine ~delay:(eat_delay ()) (fun () ->
+                 instance.stop_eating pid))
+      | Dining.Types.Thinking ->
+          ignore
+            (Sim.Engine.schedule_after engine ~delay:(think_delay ()) (fun () ->
+                 if not (Net.Faults.is_crashed faults pid) then instance.become_hungry pid)));
+  for pid = 0 to n - 1 do
+    ignore
+      (Sim.Engine.schedule engine ~at:(think_delay ()) (fun () ->
+           if not (Net.Faults.is_crashed faults pid) then instance.become_hungry pid))
+  done;
+  t
+
+let hungry_transitions t = t.hungry_transitions

@@ -1,0 +1,24 @@
+(** Drives diners through the think -> hungry -> eat cycle.
+
+    The paper's behavioural contract: processes may think forever but here
+    become hungry after a finite random think time (so every diner gets
+    hungry infinitely often), and correct processes eat for a finite
+    random duration. The workload owns Action 1 ("become hungry") and the
+    scheduling of Action 10 ("exit") and drives them through the uniform
+    {!Dining.Instance.t} interface. *)
+
+type t
+
+val attach :
+  engine:Sim.Engine.t ->
+  faults:Net.Faults.t ->
+  n:int ->
+  rng:Sim.Rng.t ->
+  workload:Scenario.workload ->
+  Dining.Instance.t ->
+  t
+(** Subscribes to the instance and schedules the first hungry transition
+    of every process (a think-time from virtual time 0). *)
+
+val hungry_transitions : t -> int
+(** Total number of Hungry transitions driven so far. *)

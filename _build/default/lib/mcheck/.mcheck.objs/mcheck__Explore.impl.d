@@ -1,0 +1,1 @@
+lib/mcheck/explore.ml: Array Format Hashtbl List Model Printf Queue Sim

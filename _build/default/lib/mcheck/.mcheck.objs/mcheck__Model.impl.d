@@ -1,0 +1,1 @@
+lib/mcheck/model.ml: Array Buffer Cgraph Format List Marshal Printf

@@ -1,0 +1,194 @@
+type result = {
+  states : int;
+  transitions : int;
+  depth : int;
+  complete : bool;
+  violation : (string * string) option;
+  deadlocks : int;
+}
+
+let bfs ?(max_states = 200_000) ?(max_depth = max_int) cfg =
+  let visited : (string, unit) Hashtbl.t = Hashtbl.create 4096 in
+  let queue = Queue.create () in
+  let states = ref 0 in
+  let transitions = ref 0 in
+  let depth = ref 0 in
+  let violation = ref None in
+  let truncated = ref false in
+  let deadlocks = ref 0 in
+  let enqueue d state =
+    let k = Model.key state in
+    if not (Hashtbl.mem visited k) then begin
+      if Hashtbl.length visited >= max_states then truncated := true
+      else begin
+        Hashtbl.add visited k ();
+        incr states;
+        if d > !depth then depth := d;
+        (match Model.check cfg state with
+        | Some msg -> violation := Some (msg, Model.describe state)
+        | None -> ());
+        Queue.add (state, d) queue
+      end
+    end
+  in
+  enqueue 0 (Model.initial cfg);
+  (try
+     while (not (Queue.is_empty queue)) && !violation = None do
+       let state, d = Queue.pop queue in
+       if d < max_depth then begin
+         let succs = Model.successors cfg state in
+         if succs = [] && Model.hungry_live_process cfg state <> None then incr deadlocks;
+         List.iter
+           (fun (_label, next) ->
+             incr transitions;
+             if !violation = None then enqueue (d + 1) next)
+           succs
+       end
+       else truncated := true
+     done
+   with Model.Model_violation msg -> violation := Some (msg, "(during delivery)"));
+  {
+    states = !states;
+    transitions = !transitions;
+    depth = !depth;
+    complete = (not !truncated) && !violation = None;
+    violation = !violation;
+    deadlocks = !deadlocks;
+  }
+
+let reach ?(max_states = 200_000) ?(max_depth = max_int) ~pred cfg =
+  let visited : (string, unit) Hashtbl.t = Hashtbl.create 4096 in
+  let queue = Queue.create () in
+  let found = ref None in
+  let enqueue d state =
+    if !found = None && pred state then found := Some d
+    else begin
+      let k = Model.key state in
+      if (not (Hashtbl.mem visited k)) && Hashtbl.length visited < max_states then begin
+        Hashtbl.add visited k ();
+        Queue.add (state, d) queue
+      end
+    end
+  in
+  enqueue 0 (Model.initial cfg);
+  while (not (Queue.is_empty queue)) && !found = None do
+    let state, d = Queue.pop queue in
+    if d < max_depth then
+      List.iter (fun (_label, next) -> enqueue (d + 1) next) (Model.successors cfg state)
+  done;
+  !found
+
+type progress_result = {
+  reachable : int;
+  hungry_states : int;
+  stuck_states : int;
+  progress_complete : bool;
+}
+
+let progress ?(max_states = 200_000) ~pid cfg =
+  (* Forward pass: enumerate the reachable graph with integer state ids. *)
+  let ids : (string, int) Hashtbl.t = Hashtbl.create 4096 in
+  let succs_of : (int, int list) Hashtbl.t = Hashtbl.create 4096 in
+  let hungry : (int, unit) Hashtbl.t = Hashtbl.create 256 in
+  let eating : (int, unit) Hashtbl.t = Hashtbl.create 256 in
+  let queue = Queue.create () in
+  let truncated = ref false in
+  let intern state =
+    let k = Model.key state in
+    match Hashtbl.find_opt ids k with
+    | Some id -> Some id
+    | None ->
+        if Hashtbl.length ids >= max_states then begin
+          truncated := true;
+          None
+        end
+        else begin
+          let id = Hashtbl.length ids in
+          Hashtbl.add ids k id;
+          if (not (Model.crashed state pid)) && Model.phase state pid = `Hungry then
+            Hashtbl.add hungry id ();
+          if (not (Model.crashed state pid)) && Model.phase state pid = `Eating then
+            Hashtbl.add eating id ();
+          Queue.add (state, id) queue;
+          Some id
+        end
+  in
+  ignore (intern (Model.initial cfg));
+  while not (Queue.is_empty queue) do
+    let state, id = Queue.pop queue in
+    let succ_ids =
+      List.filter_map (fun (_label, next) -> intern next) (Model.successors cfg state)
+    in
+    Hashtbl.replace succs_of id succ_ids
+  done;
+  (* Backward pass: which states can still lead to [pid] eating? *)
+  let n = Hashtbl.length ids in
+  let preds = Array.make n [] in
+  Hashtbl.iter
+    (fun id succ_ids -> List.iter (fun s -> preds.(s) <- id :: preds.(s)) succ_ids)
+    succs_of;
+  let can_eat = Array.make n false in
+  let back = Queue.create () in
+  Hashtbl.iter
+    (fun id () ->
+      can_eat.(id) <- true;
+      Queue.add id back)
+    eating;
+  while not (Queue.is_empty back) do
+    let id = Queue.pop back in
+    List.iter
+      (fun p ->
+        if not can_eat.(p) then begin
+          can_eat.(p) <- true;
+          Queue.add p back
+        end)
+      preds.(id)
+  done;
+  let stuck = ref 0 in
+  Hashtbl.iter (fun id () -> if not can_eat.(id) then incr stuck) hungry;
+  {
+    reachable = n;
+    hungry_states = Hashtbl.length hungry;
+    stuck_states = !stuck;
+    progress_complete = not !truncated;
+  }
+
+type walk_result = {
+  walks_done : int;
+  steps_taken : int;
+  walk_violation : (string * string) option;
+}
+
+let random_walk ?(walks = 64) ?(steps = 400) ~seed cfg =
+  let rng = Sim.Rng.create seed in
+  let steps_taken = ref 0 in
+  let violation = ref None in
+  let walks_done = ref 0 in
+  (try
+     while !walks_done < walks && !violation = None do
+       incr walks_done;
+       let state = ref (Model.initial cfg) in
+       let continue = ref true in
+       let remaining = ref steps in
+       while !continue && !remaining > 0 && !violation = None do
+         decr remaining;
+         match Model.successors cfg !state with
+         | [] -> continue := false
+         | succs ->
+             let _, next = List.nth succs (Sim.Rng.int rng (List.length succs)) in
+             incr steps_taken;
+             (match Model.check cfg next with
+             | Some msg -> violation := Some (msg, Model.describe next)
+             | None -> ());
+             state := next
+       done
+     done
+   with Model.Model_violation msg -> violation := Some (msg, "(during delivery)"));
+  { walks_done = !walks_done; steps_taken = !steps_taken; walk_violation = !violation }
+
+let pp_result ppf r =
+  Format.fprintf ppf "states=%d transitions=%d depth=%d complete=%b deadlocks=%d %s" r.states
+    r.transitions r.depth r.complete r.deadlocks
+    (match r.violation with
+    | None -> "no violation"
+    | Some (msg, state) -> Printf.sprintf "VIOLATION: %s in [%s]" msg state)

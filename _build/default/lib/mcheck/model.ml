@@ -1,0 +1,374 @@
+type config = {
+  graph : Cgraph.Graph.t;
+  colors : int array;
+  sessions : int;
+  crash_budget : int;
+  fp_budget : int;
+}
+
+type msg = P | A | R of int | F
+
+type pstate = {
+  phase : int; (* 0 = thinking, 1 = hungry, 2 = eating *)
+  inside : bool;
+  pinged : bool array;
+  ack : bool array;
+  replied : bool array;
+  deferred : bool array;
+  fork : bool array;
+  token : bool array;
+  sessions_left : int;
+}
+
+(* absorbed message counts per directed pair, by kind *)
+type absorbed = { ab_p : int; ab_a : int; ab_r : int; ab_f : int }
+
+type state = {
+  procs : pstate array;
+  chans : msg list array array; (* chans.(i).(k) = queue i -> its k-th neighbor *)
+  susp : bool array array;      (* susp.(i).(k) = i suspects its k-th neighbor *)
+  crashed : bool array;
+  crash_budget_left : int;
+  fp_budget_left : int;
+  absorbed : absorbed array array; (* absorbed.(i).(k): dropped on channel i -> k-th nbr *)
+}
+
+let no_absorbed = { ab_p = 0; ab_a = 0; ab_r = 0; ab_f = 0 }
+
+let copy_p p =
+  {
+    p with
+    pinged = Array.copy p.pinged;
+    ack = Array.copy p.ack;
+    replied = Array.copy p.replied;
+    deferred = Array.copy p.deferred;
+    fork = Array.copy p.fork;
+    token = Array.copy p.token;
+  }
+
+let copy_state s =
+  {
+    procs = Array.map copy_p s.procs;
+    chans = Array.map (fun row -> Array.copy row) s.chans;
+    susp = Array.map Array.copy s.susp;
+    crashed = Array.copy s.crashed;
+    crash_budget_left = s.crash_budget_left;
+    fp_budget_left = s.fp_budget_left;
+    absorbed = Array.map Array.copy s.absorbed;
+  }
+
+let nbrs cfg i = Cgraph.Graph.neighbors cfg.graph i
+
+let nbr_index cfg i j =
+  let row = nbrs cfg i in
+  let rec go k = if row.(k) = j then k else go (k + 1) in
+  go 0
+
+let initial cfg =
+  let n = Cgraph.Graph.n cfg.graph in
+  if not (Cgraph.Coloring.is_proper cfg.graph cfg.colors) then
+    invalid_arg "Mcheck: colors must be proper";
+  {
+    procs =
+      Array.init n (fun i ->
+          let row = nbrs cfg i in
+          let deg = Array.length row in
+          {
+            phase = 0;
+            inside = false;
+            pinged = Array.make deg false;
+            ack = Array.make deg false;
+            replied = Array.make deg false;
+            deferred = Array.make deg false;
+            fork = Array.map (fun j -> cfg.colors.(i) > cfg.colors.(j)) row;
+            token = Array.map (fun j -> cfg.colors.(i) < cfg.colors.(j)) row;
+            sessions_left = cfg.sessions;
+          });
+    chans = Array.init n (fun i -> Array.make (Array.length (nbrs cfg i)) []);
+    susp = Array.init n (fun i -> Array.make (Array.length (nbrs cfg i)) false);
+    crashed = Array.make n false;
+    crash_budget_left = cfg.crash_budget;
+    fp_budget_left = cfg.fp_budget;
+    absorbed = Array.init n (fun i -> Array.make (Array.length (nbrs cfg i)) no_absorbed);
+  }
+
+let push cfg s ~src ~dst m =
+  let k = nbr_index cfg src dst in
+  s.chans.(src).(k) <- s.chans.(src).(k) @ [ m ]
+
+(* ------------------------------------------------------------------ *)
+(* Delivery handlers (Actions 3, 4, 7, 8), mutating a fresh copy.      *)
+(* ------------------------------------------------------------------ *)
+
+exception Model_violation of string
+
+let handle cfg s ~dst ~src m =
+  let p = s.procs.(dst) in
+  let k = nbr_index cfg dst src in
+  match m with
+  | P ->
+      if p.inside || p.replied.(k) then p.deferred.(k) <- true
+      else begin
+        push cfg s ~src:dst ~dst:src A;
+        p.replied.(k) <- p.phase = 1
+      end
+  | A ->
+      p.ack.(k) <- p.phase = 1 && not p.inside;
+      p.pinged.(k) <- false
+  | R c ->
+      if not p.fork.(k) then
+        raise (Model_violation (Printf.sprintf "Lemma 1.1: %d requested fork %d lacks" src dst));
+      p.token.(k) <- true;
+      if (not p.inside) || (p.phase = 1 && cfg.colors.(dst) < c) then begin
+        p.fork.(k) <- false;
+        push cfg s ~src:dst ~dst:src F
+      end
+  | F ->
+      if p.token.(k) then
+        raise (Model_violation (Printf.sprintf "Lemma 1.1: %d got fork holding token" dst));
+      if p.fork.(k) then
+        raise (Model_violation (Printf.sprintf "Lemma 1.2: duplicated fork at %d" dst));
+      p.fork.(k) <- true
+
+(* ------------------------------------------------------------------ *)
+(* Transition enumeration.                                             *)
+(* ------------------------------------------------------------------ *)
+
+let successors cfg s =
+  let n = Array.length s.procs in
+  let out = ref [] in
+  let add label next = out := (label, next) :: !out in
+  let fresh () = copy_state s in
+  for i = 0 to n - 1 do
+    let p = s.procs.(i) in
+    let row = nbrs cfg i in
+    let deg = Array.length row in
+    if not s.crashed.(i) then begin
+      (* Action 1: become hungry (budgeted). *)
+      if p.phase = 0 && p.sessions_left > 0 then begin
+        let s' = fresh () in
+        s'.procs.(i) <-
+          { (s'.procs.(i)) with phase = 1; sessions_left = p.sessions_left - 1 };
+        add (Printf.sprintf "hungry(%d)" i) s'
+      end;
+      if p.phase = 1 && not p.inside then begin
+        (* Action 2: ping neighbors lacking an ack and a pending ping. *)
+        let targets = ref [] in
+        for k = 0 to deg - 1 do
+          if (not p.pinged.(k)) && not p.ack.(k) then targets := k :: !targets
+        done;
+        if !targets <> [] then begin
+          let s' = fresh () in
+          let p' = s'.procs.(i) in
+          List.iter
+            (fun k ->
+              p'.pinged.(k) <- true;
+              push cfg s' ~src:i ~dst:row.(k) P)
+            !targets;
+          add (Printf.sprintf "a2(%d)" i) s'
+        end;
+        (* Action 5: enter the doorway. *)
+        let ok = ref true in
+        for k = 0 to deg - 1 do
+          if not (p.ack.(k) || s.susp.(i).(k)) then ok := false
+        done;
+        if !ok then begin
+          let s' = fresh () in
+          let p' = s'.procs.(i) in
+          Array.fill p'.ack 0 deg false;
+          Array.fill p'.replied 0 deg false;
+          s'.procs.(i) <- { p' with inside = true };
+          add (Printf.sprintf "a5(%d)" i) s'
+        end
+      end;
+      if p.phase = 1 && p.inside then begin
+        (* Action 6: request missing forks. *)
+        let targets = ref [] in
+        for k = 0 to deg - 1 do
+          if p.token.(k) && not p.fork.(k) then targets := k :: !targets
+        done;
+        if !targets <> [] then begin
+          let s' = fresh () in
+          let p' = s'.procs.(i) in
+          List.iter
+            (fun k ->
+              p'.token.(k) <- false;
+              push cfg s' ~src:i ~dst:row.(k) (R cfg.colors.(i)))
+            !targets;
+          add (Printf.sprintf "a6(%d)" i) s'
+        end;
+        (* Action 9: eat. *)
+        let ok = ref true in
+        for k = 0 to deg - 1 do
+          if not (p.fork.(k) || s.susp.(i).(k)) then ok := false
+        done;
+        if !ok then begin
+          let s' = fresh () in
+          s'.procs.(i) <- { (s'.procs.(i)) with phase = 2 };
+          add (Printf.sprintf "a9(%d)" i) s'
+        end
+      end;
+      (* Action 10: exit. *)
+      if p.phase = 2 then begin
+        let s' = fresh () in
+        let p' = s'.procs.(i) in
+        for k = 0 to deg - 1 do
+          if p'.token.(k) && p'.fork.(k) then begin
+            p'.fork.(k) <- false;
+            push cfg s' ~src:i ~dst:row.(k) F
+          end
+        done;
+        for k = 0 to deg - 1 do
+          if p'.deferred.(k) then begin
+            p'.deferred.(k) <- false;
+            push cfg s' ~src:i ~dst:row.(k) A
+          end
+        done;
+        s'.procs.(i) <- { p' with phase = 0; inside = false };
+        add (Printf.sprintf "a10(%d)" i) s'
+      end;
+      (* Crash fault. *)
+      if s.crash_budget_left > 0 then begin
+        let s' = fresh () in
+        s'.crashed.(i) <- true;
+        add (Printf.sprintf "crash(%d)" i)
+          { s' with crash_budget_left = s.crash_budget_left - 1 }
+      end;
+      (* Oracle output changes at observer i. *)
+      for k = 0 to deg - 1 do
+        let j = row.(k) in
+        if s.crashed.(j) then begin
+          if not s.susp.(i).(k) then begin
+            (* Completeness: suspicion of a crashed neighbor can switch on
+               (and, being justified, never off). *)
+            let s' = fresh () in
+            s'.susp.(i).(k) <- true;
+            add (Printf.sprintf "detect(%d,%d)" i j) s'
+          end
+        end
+        else if s.fp_budget_left > 0 then begin
+          let s' = fresh () in
+          s'.susp.(i).(k) <- not s.susp.(i).(k);
+          add (Printf.sprintf "fp(%d,%d)" i j) { s' with fp_budget_left = s.fp_budget_left - 1 }
+        end
+      done
+    end;
+    (* Message deliveries on channels i -> each neighbor. *)
+    for k = 0 to deg - 1 do
+      match s.chans.(i).(k) with
+      | [] -> ()
+      | m :: rest -> (
+          let j = row.(k) in
+          let s' = fresh () in
+          s'.chans.(i).(k) <- rest;
+          if s.crashed.(j) then begin
+            let ab = s'.absorbed.(i).(k) in
+            s'.absorbed.(i).(k) <-
+              (match m with
+              | P -> { ab with ab_p = ab.ab_p + 1 }
+              | A -> { ab with ab_a = ab.ab_a + 1 }
+              | R _ -> { ab with ab_r = ab.ab_r + 1 }
+              | F -> { ab with ab_f = ab.ab_f + 1 });
+            add (Printf.sprintf "drop(%d->%d)" i j) s'
+          end
+          else begin
+            handle cfg s' ~dst:j ~src:i m;
+            add (Printf.sprintf "deliver(%d->%d)" i j) s'
+          end)
+    done
+  done;
+  List.rev !out
+
+(* ------------------------------------------------------------------ *)
+(* Invariants.                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let count_kind pred queue = List.length (List.filter pred queue)
+
+let check cfg s =
+  let violation = ref None in
+  let fail fmt = Format.kasprintf (fun m -> if !violation = None then violation := Some m) fmt in
+  let n = Array.length s.procs in
+  (* Eating implies inside. *)
+  for i = 0 to n - 1 do
+    let p = s.procs.(i) in
+    if p.phase = 2 && not p.inside then fail "p%d eats outside doorway" i
+  done;
+  (* Weak exclusion among live neighbors holds outright when the oracle
+     never lies (fp budget 0 in the whole run). *)
+  if cfg.fp_budget = 0 then
+    Cgraph.Graph.iter_edges cfg.graph (fun i j ->
+        if
+          s.procs.(i).phase = 2 && s.procs.(j).phase = 2
+          && (not s.crashed.(i))
+          && not s.crashed.(j)
+        then fail "exclusion: %d and %d eat simultaneously" i j);
+  Cgraph.Graph.iter_edges cfg.graph (fun i j ->
+      let ki = nbr_index cfg i j and kj = nbr_index cfg j i in
+      let ci = s.chans.(i).(ki) and cj = s.chans.(j).(kj) in
+      let abi = s.absorbed.(i).(ki) and abj = s.absorbed.(j).(kj) in
+      (* Fork conservation (Lemma 1.2 + crash absorption). *)
+      let forks =
+        (if s.procs.(i).fork.(ki) then 1 else 0)
+        + (if s.procs.(j).fork.(kj) then 1 else 0)
+        + count_kind (fun m -> m = F) ci
+        + count_kind (fun m -> m = F) cj
+        + abi.ab_f + abj.ab_f
+      in
+      if forks <> 1 then fail "edge(%d,%d): %d forks" i j forks;
+      (* Token conservation. *)
+      let tokens =
+        (if s.procs.(i).token.(ki) then 1 else 0)
+        + (if s.procs.(j).token.(kj) then 1 else 0)
+        + count_kind (function R _ -> true | _ -> false) ci
+        + count_kind (function R _ -> true | _ -> false) cj
+        + abi.ab_r + abj.ab_r
+      in
+      if tokens <> 1 then fail "edge(%d,%d): %d tokens" i j tokens;
+      (* Lemma 2.2 (ping-pipeline consistency), in both directions. *)
+      let ping_pipeline a b ka kb ca cb ab_a ab_b =
+        let artifacts =
+          count_kind (fun m -> m = P) ca
+          + ab_a.ab_p
+          + (if s.procs.(b).deferred.(kb) then 1 else 0)
+          + count_kind (fun m -> m = A) cb
+          + ab_b.ab_a
+        in
+        let expected = if s.procs.(a).pinged.(ka) then 1 else 0 in
+        if artifacts <> expected then
+          fail "pair(%d,%d): pinged=%b with %d ping artifacts" a b s.procs.(a).pinged.(ka)
+            artifacts
+      in
+      ping_pipeline i j ki kj ci cj abi abj;
+      ping_pipeline j i kj ki cj ci abj abi;
+      (* Section 7: channel capacity. *)
+      let in_transit = List.length ci + List.length cj in
+      if in_transit > 4 then fail "edge(%d,%d): %d messages in transit" i j in_transit);
+  !violation
+
+let key s = Marshal.to_string s []
+
+let hungry_live_process _cfg s =
+  let found = ref None in
+  Array.iteri
+    (fun i p -> if !found = None && p.phase = 1 && not s.crashed.(i) then found := Some i)
+    s.procs;
+  !found
+
+let phase s i =
+  match s.procs.(i).phase with 0 -> `Thinking | 1 -> `Hungry | _ -> `Eating
+
+let inside s i = s.procs.(i).inside
+let crashed s i = s.crashed.(i)
+
+let describe s =
+  let b = Buffer.create 256 in
+  Array.iteri
+    (fun i p ->
+      Buffer.add_string b
+        (Printf.sprintf "p%d:%s%s%s " i
+           (match p.phase with 0 -> "T" | 1 -> "H" | _ -> "E")
+           (if p.inside then "+in" else "")
+           (if s.crashed.(i) then "+crashed" else "")))
+    s.procs;
+  Buffer.contents b

@@ -1,0 +1,63 @@
+(** Pure-functional explicit-state model of Algorithm 1.
+
+    This is a second, independent encoding of the paper's pseudocode —
+    immutable states, explicit per-channel FIFO queues, and one transition
+    per guarded command — used to verify the algorithm's proven lemmas
+    exhaustively on small instances (the simulator samples schedules; the
+    model checker enumerates them).
+
+    Sources of nondeterminism, each budgeted to keep the state space
+    finite:
+    - processes become hungry at most [sessions] times each;
+    - at most [crash_budget] processes crash, at any point;
+    - the ◇P₁ oracle makes at most [fp_budget] false-suspicion output
+      changes (each set/clear of a live neighbor's suspicion consumes
+      one); suspicion of a crashed neighbor can always be switched on
+      (completeness) and never off again;
+    - message delivery and every internal action interleave arbitrarily.
+
+    With [fp_budget = 0] the detector is perpetually accurate, so the
+    checker additionally asserts weak exclusion (no two live neighbors
+    simultaneously eating — perpetual, per the paper's Theorem 1 argument
+    specialised to a converged oracle). Structural lemmas (fork/token
+    conservation, Lemma 1.1, Lemma 2.2, the 4-messages-per-edge bound) are
+    asserted in {e every} mode. *)
+
+type config = {
+  graph : Cgraph.Graph.t;
+  colors : int array;
+  sessions : int;       (** hungry sessions per process *)
+  crash_budget : int;
+  fp_budget : int;
+}
+
+type state
+
+val initial : config -> state
+
+exception Model_violation of string
+(** Raised when a delivery handler itself detects a violated lemma (a
+    fork request arriving at a non-holder, a duplicated fork). *)
+
+val successors : config -> state -> (string * state) list
+(** All one-step successor states with human-readable transition labels.
+    May raise {!Model_violation}; state-level invariants are found by
+    {!check}. *)
+
+val check : config -> state -> string option
+(** First violated invariant of the state, if any. *)
+
+val key : state -> string
+(** Canonical serialisation for visited-set hashing. *)
+
+val hungry_live_process : config -> state -> int option
+(** Some live process currently hungry, if any (deadlock detection in
+    terminal states). *)
+
+val phase : state -> int -> [ `Thinking | `Hungry | `Eating ]
+val inside : state -> int -> bool
+val crashed : state -> int -> bool
+(** Accessors for reachability predicates. *)
+
+val describe : state -> string
+(** Compact human-readable dump (for violation reports). *)

@@ -1,0 +1,1 @@
+lib/monitor/exclusion.ml: Array Cgraph Dining List Net Sim

@@ -1,0 +1,1 @@
+lib/monitor/exclusion.mli: Cgraph Dining Net Sim

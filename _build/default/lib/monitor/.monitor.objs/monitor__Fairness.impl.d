@@ -1,0 +1,1 @@
+lib/monitor/fairness.ml: Array Cgraph Dining Hashtbl List Net Option Sim

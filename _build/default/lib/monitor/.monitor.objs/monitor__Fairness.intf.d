@@ -1,0 +1,1 @@
+lib/monitor/fairness.mli: Cgraph Dining Net Sim

@@ -1,0 +1,1 @@
+lib/monitor/phases.ml: Dining Hashtbl List Sim Stats

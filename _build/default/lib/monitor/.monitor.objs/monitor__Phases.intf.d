@@ -1,0 +1,1 @@
+lib/monitor/phases.mli: Dining Sim Stats

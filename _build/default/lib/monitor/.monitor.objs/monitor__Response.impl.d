@@ -1,0 +1,1 @@
+lib/monitor/response.ml: Dining Hashtbl List Net Option Sim Stats

@@ -1,0 +1,1 @@
+lib/monitor/response.mli: Dining Net Sim Stats

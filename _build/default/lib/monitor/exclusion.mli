@@ -1,0 +1,24 @@
+(** Runtime verification of (eventual) weak exclusion.
+
+    Watches a daemon's phase transitions and records a violation whenever
+    a process starts eating while a live neighbor is already eating. The
+    ◇WX property (Theorem 1) predicts finitely many violations, all before
+    the failure detector converges; perpetual exclusion predicts none. *)
+
+type violation = { time : Sim.Time.t; eater : Dining.Types.pid; neighbor : Dining.Types.pid }
+
+type t
+
+val attach : Sim.Engine.t -> Cgraph.Graph.t -> Net.Faults.t -> Dining.Instance.t -> t
+(** Subscribe to the instance's transitions. Must be attached before the
+    run starts. *)
+
+val violations : t -> violation list
+(** All recorded violations, oldest first. *)
+
+val count : t -> int
+
+val count_after : t -> Sim.Time.t -> int
+(** Violations at or after the given time (e.g. detector convergence). *)
+
+val last_violation_time : t -> Sim.Time.t option

@@ -1,0 +1,72 @@
+type overtake = {
+  time : Sim.Time.t;
+  overtaker : Dining.Types.pid;
+  victim : Dining.Types.pid;
+  session_start : Sim.Time.t;
+  count : int;
+}
+
+type t = {
+  engine : Sim.Engine.t;
+  graph : Cgraph.Graph.t;
+  faults : Net.Faults.t;
+  hungry_since : Sim.Time.t option array;
+  counts : (Dining.Types.pid * Dining.Types.pid, int) Hashtbl.t;
+      (* (overtaker, victim) -> consecutive count in the victim's current session *)
+  mutable log : overtake list; (* newest first *)
+}
+
+let attach engine graph faults (instance : Dining.Instance.t) =
+  let n = Cgraph.Graph.n graph in
+  let t =
+    {
+      engine;
+      graph;
+      faults;
+      hungry_since = Array.make n None;
+      counts = Hashtbl.create 64;
+      log = [];
+    }
+  in
+  instance.add_listener (fun pid phase ->
+      let now = Sim.Engine.now engine in
+      match phase with
+      | Dining.Types.Hungry -> t.hungry_since.(pid) <- Some now
+      | Dining.Types.Eating ->
+          (* The eater's own hungry session ends: counts against it reset. *)
+          t.hungry_since.(pid) <- None;
+          Array.iter (fun j -> Hashtbl.remove t.counts (j, pid)) (Cgraph.Graph.neighbors graph pid);
+          (* And it overtakes every currently hungry live neighbor. *)
+          Array.iter
+            (fun victim ->
+              match t.hungry_since.(victim) with
+              | Some session_start when not (Net.Faults.is_crashed t.faults victim) ->
+                  let key = (pid, victim) in
+                  let c = 1 + Option.value (Hashtbl.find_opt t.counts key) ~default:0 in
+                  Hashtbl.replace t.counts key c;
+                  t.log <-
+                    { time = now; overtaker = pid; victim; session_start; count = c } :: t.log
+              | _ -> ())
+            (Cgraph.Graph.neighbors graph pid)
+      | Dining.Types.Thinking -> t.hungry_since.(pid) <- None);
+  t
+
+let overtakes t = List.rev t.log
+
+let max_consecutive t = List.fold_left (fun acc o -> max acc o.count) 0 t.log
+
+let max_consecutive_for_sessions_from t time =
+  List.fold_left (fun acc o -> if o.session_start >= time then max acc o.count else acc) 0 t.log
+
+let windowed_max t ~window ~horizon =
+  if window <= 0 then invalid_arg "Fairness.windowed_max: window must be positive";
+  let buckets = (horizon / window) + 1 in
+  let maxima = Array.make buckets 0 in
+  List.iter
+    (fun o ->
+      if o.time <= horizon then begin
+        let b = o.time / window in
+        if o.count > maxima.(b) then maxima.(b) <- o.count
+      end)
+    t.log;
+  Array.to_list (Array.mapi (fun b m -> (float_of_int (b * window), float_of_int m)) maxima)

@@ -1,0 +1,34 @@
+(** Runtime measurement of k-bounded waiting (overtaking).
+
+    An {e overtake} happens when process [j] starts eating while its
+    neighbor [i] has been continuously hungry; the count is consecutive
+    within one hungry session of the victim [i] and resets when [i] eats.
+    Theorem 3 predicts that every run has a suffix in which no count
+    exceeds 2 (for hungry sessions starting after detector convergence);
+    doorway-less priority schemes have unbounded counts. *)
+
+type overtake = {
+  time : Sim.Time.t;
+  overtaker : Dining.Types.pid;
+  victim : Dining.Types.pid;
+  session_start : Sim.Time.t;  (** start of the victim's hungry session *)
+  count : int;  (** consecutive overtakes of this pair within the session, after this one *)
+}
+
+type t
+
+val attach : Sim.Engine.t -> Cgraph.Graph.t -> Net.Faults.t -> Dining.Instance.t -> t
+
+val overtakes : t -> overtake list
+(** All overtake events, oldest first. *)
+
+val max_consecutive : t -> int
+(** Highest consecutive count observed anywhere in the run. *)
+
+val max_consecutive_for_sessions_from : t -> Sim.Time.t -> int
+(** Highest count among overtakes whose victim's hungry session started at
+    or after the given time — the quantity Theorem 3 bounds by 2. *)
+
+val windowed_max : t -> window:int -> horizon:Sim.Time.t -> (float * float) list
+(** For figure F3: per time window \[w*window, (w+1)*window), the maximum
+    consecutive count of overtakes occurring in that window (0 when none). *)

@@ -1,0 +1,46 @@
+type t = {
+  engine : Sim.Engine.t;
+  hungry_at : (int, Sim.Time.t) Hashtbl.t;
+  entered_at : (int, Sim.Time.t) Hashtbl.t;
+  mutable doorway : int list;
+  mutable fork : int list;
+}
+
+let attach engine trace (instance : Dining.Instance.t) =
+  let t =
+    {
+      engine;
+      hungry_at = Hashtbl.create 16;
+      entered_at = Hashtbl.create 16;
+      doorway = [];
+      fork = [];
+    }
+  in
+  Sim.Trace.on_record trace (fun r ->
+      if r.Sim.Trace.tag = "enter_doorway" then begin
+        match Hashtbl.find_opt t.hungry_at r.subject with
+        | Some started ->
+            Hashtbl.replace t.entered_at r.subject r.time;
+            t.doorway <- (r.time - started) :: t.doorway
+        | None -> ()
+      end);
+  instance.add_listener (fun pid phase ->
+      let now = Sim.Engine.now engine in
+      match phase with
+      | Dining.Types.Hungry -> Hashtbl.replace t.hungry_at pid now
+      | Dining.Types.Eating -> (
+          Hashtbl.remove t.hungry_at pid;
+          match Hashtbl.find_opt t.entered_at pid with
+          | Some entered ->
+              Hashtbl.remove t.entered_at pid;
+              t.fork <- (now - entered) :: t.fork
+          | None -> ())
+      | Dining.Types.Thinking ->
+          Hashtbl.remove t.hungry_at pid;
+          Hashtbl.remove t.entered_at pid);
+  t
+
+let doorway_waits t = List.rev t.doorway
+let fork_waits t = List.rev t.fork
+let doorway_summary t = Stats.Summary.of_ints t.doorway
+let fork_summary t = Stats.Summary.of_ints t.fork

@@ -1,0 +1,26 @@
+(** Where does a hungry session's waiting time go?
+
+    Algorithm 1 splits a hungry session into phase 1 (outside the doorway,
+    collecting acks) and phase 2 (inside, collecting forks). This monitor
+    splits every completed session's latency at the doorway-entry event
+    (which the algorithm emits on its trace) into a {e doorway wait} and a
+    {e fork wait} — the data behind experiment E12's breakdown of what the
+    doorway costs on each topology.
+
+    Only daemons that emit ["enter_doorway"] trace records (the Song-Pike
+    core) produce samples; on other daemons both sample sets stay empty. *)
+
+type t
+
+val attach : Sim.Engine.t -> Sim.Trace.t -> Dining.Instance.t -> t
+(** Subscribes to the instance's transitions and the trace. Attaching
+    enables the trace. *)
+
+val doorway_waits : t -> int list
+(** Hungry -> doorway-entry latencies of completed phases, in ticks. *)
+
+val fork_waits : t -> int list
+(** Doorway-entry -> eating latencies, in ticks. *)
+
+val doorway_summary : t -> Stats.Summary.t
+val fork_summary : t -> Stats.Summary.t

@@ -1,0 +1,57 @@
+type session = { pid : Dining.Types.pid; started : Sim.Time.t; served : Sim.Time.t }
+
+type t = {
+  engine : Sim.Engine.t;
+  faults : Net.Faults.t;
+  open_since : (Dining.Types.pid, Sim.Time.t) Hashtbl.t;
+  mutable completed : session list; (* newest first *)
+}
+
+let attach engine faults (instance : Dining.Instance.t) =
+  let t = { engine; faults; open_since = Hashtbl.create 16; completed = [] } in
+  instance.add_listener (fun pid phase ->
+      let now = Sim.Engine.now engine in
+      match phase with
+      | Dining.Types.Hungry -> Hashtbl.replace t.open_since pid now
+      | Dining.Types.Eating -> (
+          match Hashtbl.find_opt t.open_since pid with
+          | Some started ->
+              Hashtbl.remove t.open_since pid;
+              t.completed <- { pid; started; served = now } :: t.completed
+          | None -> ())
+      | Dining.Types.Thinking -> ());
+  t
+
+let completed t = List.rev t.completed
+let durations t = List.rev_map (fun s -> s.served - s.started) t.completed
+let summary t = Stats.Summary.of_ints (durations t)
+
+let open_sessions t =
+  Hashtbl.fold
+    (fun pid started acc ->
+      if Net.Faults.is_crashed t.faults pid then acc else (pid, started) :: acc)
+    t.open_since []
+  |> List.sort compare
+
+let starved t ~older_than =
+  let now = Sim.Engine.now t.engine in
+  List.filter_map
+    (fun (pid, started) -> if now - started > older_than then Some pid else None)
+    (open_sessions t)
+
+let served_count t = List.length t.completed
+
+let response_series t ~bucket =
+  if bucket <= 0 then invalid_arg "Response.response_series: bucket must be positive";
+  let sums = Hashtbl.create 32 in
+  List.iter
+    (fun s ->
+      let b = s.served / bucket in
+      let total, count = Option.value (Hashtbl.find_opt sums b) ~default:(0, 0) in
+      Hashtbl.replace sums b (total + (s.served - s.started), count + 1))
+    t.completed;
+  Hashtbl.fold
+    (fun b (total, count) acc ->
+      (float_of_int (b * bucket), float_of_int total /. float_of_int count) :: acc)
+    sums []
+  |> List.sort compare

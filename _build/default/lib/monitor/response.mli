@@ -1,0 +1,34 @@
+(** Hungry-session latency and starvation detection.
+
+    A session runs from a process's Hungry transition to its Eating
+    transition. Wait-freedom (Theorem 2) predicts that every correct
+    process's session completes; a starved process is one whose session is
+    still open "long" after it began. *)
+
+type session = { pid : Dining.Types.pid; started : Sim.Time.t; served : Sim.Time.t }
+
+type t
+
+val attach : Sim.Engine.t -> Net.Faults.t -> Dining.Instance.t -> t
+
+val completed : t -> session list
+(** Completed sessions, oldest first. *)
+
+val durations : t -> int list
+(** Completed session latencies in ticks. *)
+
+val summary : t -> Stats.Summary.t
+
+val open_sessions : t -> (Dining.Types.pid * Sim.Time.t) list
+(** Sessions of live processes still hungry now: (pid, start time). *)
+
+val starved : t -> older_than:int -> Dining.Types.pid list
+(** Live processes whose open session started more than [older_than] ticks
+    ago — the wait-freedom failures. *)
+
+val served_count : t -> int
+
+val response_series : t -> bucket:int -> (float * float) list
+(** For figure F1: mean completed latency per [bucket]-tick window of the
+    {e service} time, (window start, mean latency); empty windows are
+    skipped. *)

@@ -1,0 +1,1 @@
+lib/net/link_stats.ml: Array Hashtbl List Option Printf Sim

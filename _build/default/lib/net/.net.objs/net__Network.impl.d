@@ -1,0 +1,1 @@
+lib/net/network.ml: Cgraph Delay Faults Hashtbl Link_stats Option Printf Sim

@@ -1,0 +1,1 @@
+lib/net/network.mli: Cgraph Delay Faults Link_stats Sim

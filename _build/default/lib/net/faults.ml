@@ -1,0 +1,34 @@
+type t = {
+  engine : Sim.Engine.t;
+  crash_at : Sim.Time.t array;
+  mutable listeners : (int -> unit) list;
+}
+
+let create engine ~n =
+  if n <= 0 then invalid_arg "Faults.create: n must be positive";
+  { engine; crash_at = Array.make n Sim.Time.infinity; listeners = [] }
+
+let n t = Array.length t.crash_at
+
+let schedule_crash t ~pid ~at =
+  if pid < 0 || pid >= n t then invalid_arg "Faults.schedule_crash: bad pid";
+  if at < Sim.Engine.now t.engine then invalid_arg "Faults.schedule_crash: in the past";
+  if at < t.crash_at.(pid) then begin
+    t.crash_at.(pid) <- at;
+    ignore
+      (Sim.Engine.schedule t.engine ~at (fun () ->
+           List.iter (fun f -> f pid) t.listeners))
+  end
+
+let crash_time t pid = t.crash_at.(pid)
+let is_crashed t pid = t.crash_at.(pid) <= Sim.Engine.now t.engine
+let correct t pid = t.crash_at.(pid) = Sim.Time.infinity
+
+let crashed_by t time =
+  let acc = ref [] in
+  for pid = n t - 1 downto 0 do
+    if t.crash_at.(pid) <= time then acc := pid :: !acc
+  done;
+  !acc
+
+let on_crash t f = t.listeners <- t.listeners @ [ f ]

@@ -1,0 +1,134 @@
+type dir_counters = {
+  mutable sent : int;
+  mutable delivered : int;
+  mutable in_flight : int;
+  mutable last_send : Sim.Time.t option;
+}
+
+type edge_counters = {
+  mutable e_in_flight : int;
+  mutable e_watermark : int;
+  by_kind : (string, int * int) Hashtbl.t; (* kind -> (in_flight, watermark) *)
+}
+
+type t = {
+  n : int;
+  dirs : (int * int, dir_counters) Hashtbl.t;
+  edges : (int * int, edge_counters) Hashtbl.t;
+  mutable total_sent : int;
+  per_dst_sent : int array;
+  last_send_to : Sim.Time.t option array;
+  last_send_from : Sim.Time.t option array;
+  watched : (int, Sim.Time.t list ref) Hashtbl.t; (* dst -> send times, newest first *)
+}
+
+let create ~n =
+  {
+    n;
+    dirs = Hashtbl.create 64;
+    edges = Hashtbl.create 64;
+    total_sent = 0;
+    per_dst_sent = Array.make n 0;
+    last_send_to = Array.make n None;
+    last_send_from = Array.make n None;
+    watched = Hashtbl.create 4;
+  }
+
+let dir t src dst =
+  match Hashtbl.find_opt t.dirs (src, dst) with
+  | Some c -> c
+  | None ->
+      let c = { sent = 0; delivered = 0; in_flight = 0; last_send = None } in
+      Hashtbl.add t.dirs (src, dst) c;
+      c
+
+let edge_key a b = (min a b, max a b)
+
+let edge t a b =
+  let key = edge_key a b in
+  match Hashtbl.find_opt t.edges key with
+  | Some e -> e
+  | None ->
+      let e = { e_in_flight = 0; e_watermark = 0; by_kind = Hashtbl.create 4 } in
+      Hashtbl.add t.edges key e;
+      e
+
+let watch_dst t dst =
+  if not (Hashtbl.mem t.watched dst) then Hashtbl.add t.watched dst (ref [])
+
+let record_send t ~src ~dst ~kind ~at =
+  let d = dir t src dst in
+  d.sent <- d.sent + 1;
+  d.in_flight <- d.in_flight + 1;
+  d.last_send <- Some at;
+  t.total_sent <- t.total_sent + 1;
+  t.per_dst_sent.(dst) <- t.per_dst_sent.(dst) + 1;
+  t.last_send_to.(dst) <- Some at;
+  t.last_send_from.(src) <- Some at;
+  let e = edge t src dst in
+  e.e_in_flight <- e.e_in_flight + 1;
+  if e.e_in_flight > e.e_watermark then e.e_watermark <- e.e_in_flight;
+  let kf, kw = Option.value (Hashtbl.find_opt e.by_kind kind) ~default:(0, 0) in
+  let kf = kf + 1 in
+  Hashtbl.replace e.by_kind kind (kf, max kw kf);
+  match Hashtbl.find_opt t.watched dst with
+  | Some times -> times := at :: !times
+  | None -> ()
+
+let settle t ~src ~dst ~kind =
+  let d = dir t src dst in
+  d.in_flight <- d.in_flight - 1;
+  let e = edge t src dst in
+  e.e_in_flight <- e.e_in_flight - 1;
+  let kf, kw = Option.value (Hashtbl.find_opt e.by_kind kind) ~default:(0, 0) in
+  Hashtbl.replace e.by_kind kind (kf - 1, kw)
+
+let record_delivery t ~src ~dst ~kind ~at:_ =
+  let d = dir t src dst in
+  d.delivered <- d.delivered + 1;
+  settle t ~src ~dst ~kind
+
+let record_drop t ~src ~dst ~kind ~at:_ = settle t ~src ~dst ~kind
+
+let sent t ~src ~dst = (dir t src dst).sent
+let delivered t ~src ~dst = (dir t src dst).delivered
+let in_flight t ~src ~dst = (dir t src dst).in_flight
+let edge_in_flight t a b = (edge t a b).e_in_flight
+let edge_watermark t a b = (edge t a b).e_watermark
+
+let max_edge_watermark t =
+  Hashtbl.fold (fun _ e acc -> max acc e.e_watermark) t.edges 0
+
+let max_edge_watermark_by_kind t =
+  let acc = Hashtbl.create 8 in
+  Hashtbl.iter
+    (fun _ e ->
+      Hashtbl.iter
+        (fun kind (_, kw) ->
+          let cur = Option.value (Hashtbl.find_opt acc kind) ~default:0 in
+          Hashtbl.replace acc kind (max cur kw))
+        e.by_kind)
+    t.edges;
+  Hashtbl.fold (fun k v l -> (k, v) :: l) acc []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let last_send_to t pid = t.last_send_to.(pid)
+
+let last_send_involving t pid =
+  match (t.last_send_to.(pid), t.last_send_from.(pid)) with
+  | None, x | x, None -> x
+  | Some a, Some b -> Some (Sim.Time.max a b)
+
+let watched_times t dst =
+  match Hashtbl.find_opt t.watched dst with
+  | Some times -> !times
+  | None -> invalid_arg (Printf.sprintf "Link_stats: dst %d is not watched" dst)
+
+let sends_to_in_window t ~dst ~from_t ~to_t =
+  List.length (List.filter (fun at -> at >= from_t && at < to_t) (watched_times t dst))
+
+let sends_to_after t ~dst ~after =
+  List.length (List.filter (fun at -> at > after) (watched_times t dst))
+
+let total_sent t = t.total_sent
+let total_sends_to t ~dst = t.per_dst_sent.(dst)

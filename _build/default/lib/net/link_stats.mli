@@ -1,0 +1,59 @@
+(** Per-directed-edge traffic accounting.
+
+    Tracks, for each ordered pair (src, dst) that ever communicates:
+    cumulative sends and deliveries, the current number of in-flight
+    messages, the in-flight high-water mark of the undirected edge (the
+    paper bounds this by 4), and the last send time. Message kinds are
+    recorded by caller-supplied tags so experiments can break traffic down
+    by ping/ack/request/fork. *)
+
+type t
+
+val create : n:int -> t
+
+val record_send : t -> src:int -> dst:int -> kind:string -> at:Sim.Time.t -> unit
+val record_delivery : t -> src:int -> dst:int -> kind:string -> at:Sim.Time.t -> unit
+val record_drop : t -> src:int -> dst:int -> kind:string -> at:Sim.Time.t -> unit
+(** A message absorbed because its destination crashed: removed from the
+    in-flight count without a delivery. *)
+
+val sent : t -> src:int -> dst:int -> int
+val delivered : t -> src:int -> dst:int -> int
+val in_flight : t -> src:int -> dst:int -> int
+
+val edge_in_flight : t -> int -> int -> int
+(** Current in-flight count on the undirected edge, both directions. *)
+
+val edge_watermark : t -> int -> int -> int
+(** Historical maximum of {!edge_in_flight} for this edge. *)
+
+val max_edge_watermark : t -> int
+(** Maximum of {!edge_watermark} over all edges that ever carried
+    traffic. *)
+
+val max_edge_watermark_by_kind : t -> (string * int) list
+(** For each message kind, the maximum per-edge in-flight watermark of
+    messages of that kind alone, sorted by kind. *)
+
+val last_send_involving : t -> int -> Sim.Time.t option
+(** Latest time any message was sent to or from the given process. *)
+
+val last_send_to : t -> int -> Sim.Time.t option
+(** Latest time any message was sent to the given process. *)
+
+val watch_dst : t -> int -> unit
+(** Start retaining individual send timestamps for messages addressed to
+    this process (needed by the windowed queries below). Quiescence
+    experiments watch the processes they are about to crash; unwatched
+    destinations only keep O(1) counters. *)
+
+val sends_to_in_window : t -> dst:int -> from_t:Sim.Time.t -> to_t:Sim.Time.t -> int
+(** Number of messages addressed to [dst] sent in [\[from_t, to_t)].
+    Raises [Invalid_argument] unless [dst] is watched. *)
+
+val sends_to_after : t -> dst:int -> after:Sim.Time.t -> int
+(** Number of messages addressed to [dst] sent strictly after [after].
+    Raises [Invalid_argument] unless [dst] is watched. *)
+
+val total_sent : t -> int
+val total_sends_to : t -> dst:int -> int

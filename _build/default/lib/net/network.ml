@@ -1,0 +1,57 @@
+type 'msg t = {
+  engine : Sim.Engine.t;
+  graph : Cgraph.Graph.t;
+  delay : Delay.t;
+  faults : Faults.t;
+  rng : Sim.Rng.t;
+  kind : 'msg -> string;
+  on_drop : src:int -> dst:int -> 'msg -> unit;
+  handler : dst:int -> src:int -> 'msg -> unit;
+  stats : Link_stats.t;
+  (* FIFO enforcement: per directed channel, the latest delivery time
+     handed out so far; later sends never deliver earlier. *)
+  last_delivery : (int * int, Sim.Time.t) Hashtbl.t;
+}
+
+let create ~engine ~graph ~delay ~faults ~rng ?(kind = fun _ -> "msg")
+    ?(on_drop = fun ~src:_ ~dst:_ _ -> ()) ~handler () =
+  {
+    engine;
+    graph;
+    delay;
+    faults;
+    rng;
+    kind;
+    on_drop;
+    handler;
+    stats = Link_stats.create ~n:(Cgraph.Graph.n graph);
+    last_delivery = Hashtbl.create 64;
+  }
+
+let send t ~src ~dst msg =
+  if not (Cgraph.Graph.is_edge t.graph src dst) then
+    invalid_arg (Printf.sprintf "Network.send: %d and %d are not neighbors" src dst);
+  if not (Faults.is_crashed t.faults src) then begin
+    let now = Sim.Engine.now t.engine in
+    let kind = t.kind msg in
+    Link_stats.record_send t.stats ~src ~dst ~kind ~at:now;
+    let raw = Sim.Time.add now (Delay.sample t.delay t.rng ~now) in
+    let floor = Option.value (Hashtbl.find_opt t.last_delivery (src, dst)) ~default:Sim.Time.zero in
+    let at = Sim.Time.max raw floor in
+    Hashtbl.replace t.last_delivery (src, dst) at;
+    ignore
+      (Sim.Engine.schedule t.engine ~at (fun () ->
+           if Faults.is_crashed t.faults dst then begin
+             Link_stats.record_drop t.stats ~src ~dst ~kind ~at;
+             t.on_drop ~src ~dst msg
+           end
+           else begin
+             Link_stats.record_delivery t.stats ~src ~dst ~kind ~at;
+             t.handler ~dst ~src msg
+           end))
+  end
+
+let stats t = t.stats
+let graph t = t.graph
+let faults t = t.faults
+let engine t = t.engine

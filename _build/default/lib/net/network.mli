@@ -1,0 +1,47 @@
+(** Reliable FIFO message-passing overlay on the simulation engine.
+
+    One ['msg t] carries one protocol's traffic (the dining layer and the
+    heartbeat failure detector each create their own overlay, sharing the
+    engine, crash plan and optionally the delay model). Guarantees, per the
+    paper's channel assumptions:
+
+    - messages between live processes are delivered exactly once, in
+      per-channel FIFO order, after a delay drawn from the delay model;
+    - messages are never lost, duplicated or corrupted;
+    - messages addressed to a crashed process are silently absorbed (the
+      channel still exists; there is just no one left to receive);
+    - a crashed process sends nothing ([send] from a crashed source is
+      ignored — by then the process has ceased executing anyway).
+
+    Delivery of each message invokes the overlay's handler with the
+    destination, source and payload. *)
+
+type 'msg t
+
+val create :
+  engine:Sim.Engine.t ->
+  graph:Cgraph.Graph.t ->
+  delay:Delay.t ->
+  faults:Faults.t ->
+  rng:Sim.Rng.t ->
+  ?kind:('msg -> string) ->
+  ?on_drop:(src:int -> dst:int -> 'msg -> unit) ->
+  handler:(dst:int -> src:int -> 'msg -> unit) ->
+  unit ->
+  'msg t
+(** [kind] labels messages for {!Link_stats} breakdowns (defaults to a
+    single ["msg"] kind). The handler runs at the message's virtual
+    delivery time. [on_drop] is invoked instead of [handler] when a message
+    reaches a crashed destination and is absorbed — protocols that must
+    conserve resources carried by messages (forks, tokens) account for the
+    loss there. *)
+
+val send : 'msg t -> src:int -> dst:int -> 'msg -> unit
+(** Asynchronously send a message. [src] and [dst] must be adjacent in the
+    conflict graph (every neighboring pair is connected by a reliable FIFO
+    channel; no other channels exist). *)
+
+val stats : 'msg t -> Link_stats.t
+val graph : 'msg t -> Cgraph.Graph.t
+val faults : 'msg t -> Faults.t
+val engine : 'msg t -> Sim.Engine.t

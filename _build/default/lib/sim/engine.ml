@@ -1,0 +1,48 @@
+type event = { mutable cancelled : bool; action : unit -> unit }
+type event_id = event option
+
+type t = {
+  mutable clock : Time.t;
+  queue : event Pqueue.t;
+  mutable processed : int;
+}
+
+let create () = { clock = Time.zero; queue = Pqueue.create (); processed = 0 }
+
+let now t = t.clock
+
+let schedule t ~at f =
+  if at = Time.infinity then None
+  else begin
+    if at < t.clock then
+      invalid_arg
+        (Printf.sprintf "Engine.schedule: at=%d is in the past (now=%d)" at t.clock);
+    let ev = { cancelled = false; action = f } in
+    Pqueue.add t.queue ~prio:at ev;
+    Some ev
+  end
+
+let schedule_after t ~delay f = schedule t ~at:(Time.add t.clock delay) f
+
+let cancel _t id = match id with None -> () | Some ev -> ev.cancelled <- true
+
+let run t ~until =
+  let continue = ref true in
+  while !continue do
+    match Pqueue.peek_prio t.queue with
+    | None -> continue := false
+    | Some at when at > until -> continue := false
+    | Some _ -> (
+        match Pqueue.pop t.queue with
+        | None -> continue := false
+        | Some (at, ev) ->
+            t.clock <- at;
+            if not ev.cancelled then begin
+              t.processed <- t.processed + 1;
+              ev.action ()
+            end)
+  done
+
+let run_all t = run t ~until:Time.infinity
+let pending t = Pqueue.size t.queue
+let processed t = t.processed

@@ -1,0 +1,43 @@
+(** Discrete-event simulation engine.
+
+    The engine owns a virtual clock and a deterministic event queue.
+    Events are closures scheduled at absolute virtual times; events with
+    equal times fire in scheduling order. Handlers run instantaneously in
+    virtual time and may schedule further events. *)
+
+type t
+
+type event_id
+(** Handle for cancelling a scheduled event. *)
+
+val create : unit -> t
+
+val now : t -> Time.t
+(** Current virtual time. *)
+
+val schedule : t -> at:Time.t -> (unit -> unit) -> event_id
+(** [schedule t ~at f] runs [f] when the clock reaches [at]. [at] must not
+    be in the past. Scheduling at [Time.infinity] is a no-op that returns a
+    dead id. *)
+
+val schedule_after : t -> delay:Time.t -> (unit -> unit) -> event_id
+(** [schedule_after t ~delay f] = [schedule t ~at:(now t + delay) f]. *)
+
+val cancel : t -> event_id -> unit
+(** Cancel a pending event; cancelling a fired or already-cancelled event
+    is a no-op. *)
+
+val run : t -> until:Time.t -> unit
+(** Process events in time order until the queue is empty or the next
+    event is strictly later than [until]. The clock is left at the time of
+    the last processed event (or unchanged if none fired). *)
+
+val run_all : t -> unit
+(** Process events until the queue is empty. Only safe for event graphs
+    that quiesce. *)
+
+val pending : t -> int
+(** Number of events still queued (including cancelled husks). *)
+
+val processed : t -> int
+(** Total number of events fired so far. *)

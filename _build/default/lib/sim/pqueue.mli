@@ -1,0 +1,24 @@
+(** Mutable binary min-heap used as the simulator's event queue.
+
+    Entries are ordered by priority (virtual time) and, among equal
+    priorities, by insertion order, giving the engine a deterministic
+    event order. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val add : 'a t -> prio:int -> 'a -> unit
+(** Insert an element with the given priority. O(log n). *)
+
+val pop : 'a t -> (int * 'a) option
+(** Remove and return the minimum entry, FIFO among equal priorities.
+    O(log n). *)
+
+val peek_prio : 'a t -> int option
+(** Priority of the minimum entry without removing it. *)
+
+val size : 'a t -> int
+val is_empty : 'a t -> bool
+
+val clear : 'a t -> unit

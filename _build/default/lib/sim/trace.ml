@@ -1,0 +1,32 @@
+type record = { time : Time.t; subject : int; tag : string; detail : string }
+
+type t = {
+  mutable sinks : (record -> unit) list;
+  mutable collected : record list; (* newest first *)
+  mutable collect : bool;
+}
+
+let create () = { sinks = []; collected = []; collect = false }
+
+let collecting () =
+  let t = create () in
+  t.collect <- true;
+  t
+
+let on_record t f = t.sinks <- t.sinks @ [ f ]
+let enabled t = t.collect || t.sinks <> []
+
+let emit t ~time ~subject ~tag detail =
+  if enabled t then begin
+    let r = { time; subject; tag; detail } in
+    if t.collect then t.collected <- r :: t.collected;
+    List.iter (fun f -> f r) t.sinks
+  end
+
+let emitf t ~time ~subject ~tag fmt =
+  Format.kasprintf (fun detail -> emit t ~time ~subject ~tag detail) fmt
+
+let records t = List.rev t.collected
+
+let pp_record ppf r =
+  Format.fprintf ppf "[%8s] p%-3d %-14s %s" (Time.to_string r.time) r.subject r.tag r.detail

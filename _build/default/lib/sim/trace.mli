@@ -1,0 +1,36 @@
+(** Structured trace of simulation events.
+
+    Components emit timestamped records; sinks either collect them for
+    post-hoc assertions (tests, monitors) or pretty-print them live
+    (examples, CLI). Tracing is off by default and costs one branch per
+    emission when disabled. *)
+
+type record = {
+  time : Time.t;
+  subject : int;  (** Process id the record is about, or -1 for global. *)
+  tag : string;   (** Short machine-readable category, e.g. ["eat_start"]. *)
+  detail : string;
+}
+
+type t
+
+val create : unit -> t
+(** A disabled trace: emissions are dropped until a sink is attached. *)
+
+val collecting : unit -> t
+(** A trace that retains every record in memory (see {!records}). *)
+
+val on_record : t -> (record -> unit) -> unit
+(** Attach a callback sink; enables the trace. *)
+
+val emit : t -> time:Time.t -> subject:int -> tag:string -> string -> unit
+val emitf :
+  t -> time:Time.t -> subject:int -> tag:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+
+val enabled : t -> bool
+
+val records : t -> record list
+(** Records collected so far (oldest first); empty unless {!collecting}
+    was used. *)
+
+val pp_record : Format.formatter -> record -> unit

@@ -1,0 +1,1 @@
+lib/stabilize/bfs_tree.ml: Array Cgraph Protocol Sim

@@ -1,0 +1,1 @@
+lib/stabilize/bfs_tree.mli: Cgraph Protocol

@@ -1,0 +1,1 @@
+lib/stabilize/coloring_protocol.ml: Array Cgraph Protocol Sim

@@ -1,0 +1,1 @@
+lib/stabilize/coloring_protocol.mli: Cgraph Protocol

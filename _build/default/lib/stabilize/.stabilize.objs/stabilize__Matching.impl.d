@@ -1,0 +1,1 @@
+lib/stabilize/matching.ml: Array Cgraph List Protocol Sim

@@ -1,0 +1,1 @@
+lib/stabilize/matching.mli: Protocol

@@ -1,0 +1,1 @@
+lib/stabilize/protocol.ml: Cgraph Sim

@@ -1,0 +1,1 @@
+lib/stabilize/protocol.mli: Cgraph Sim

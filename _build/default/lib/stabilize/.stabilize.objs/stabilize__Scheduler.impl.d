@@ -1,0 +1,1 @@
+lib/stabilize/scheduler.ml: Array Cgraph Dining Fun List Net Protocol Sim

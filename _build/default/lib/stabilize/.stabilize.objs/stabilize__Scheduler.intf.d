@@ -1,0 +1,1 @@
+lib/stabilize/scheduler.mli: Cgraph Dining Net Protocol Sim

@@ -1,0 +1,1 @@
+lib/stabilize/token_ring.ml: Array Option Protocol Sim

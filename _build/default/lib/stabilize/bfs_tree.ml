@@ -1,0 +1,37 @@
+let target (v : Protocol.view) ~cap =
+  if v.self = 0 then 0
+  else begin
+    let best = Array.fold_left (fun acc (_, s) -> min acc s) cap v.neighbors in
+    min cap (best + 1)
+  end
+
+let make ~graph =
+  let cap = Cgraph.Graph.n graph in
+  let clamp s = if s < 0 then 0 else if s > cap then cap else s in
+  let enabled (v : Protocol.view) = clamp v.state <> target v ~cap in
+  {
+    Protocol.name = "bfs-tree";
+    init = (fun rng _pid -> Sim.Rng.int rng (cap + 1));
+    corrupt = (fun rng _pid -> Sim.Rng.int rng (cap + 1));
+    enabled;
+    step = (fun v -> target v ~cap);
+    error =
+      (fun g states alive ->
+        let bad = ref 0 in
+        for i = 0 to Cgraph.Graph.n g - 1 do
+          if alive i then begin
+            let v =
+              {
+                Protocol.self = i;
+                state = states.(i);
+                neighbors =
+                  Array.map (fun j -> (j, states.(j))) (Cgraph.Graph.neighbors g i);
+              }
+            in
+            if enabled v then incr bad
+          end
+        done;
+        !bad);
+  }
+
+let distances g = Cgraph.Graph.distances_from g 0

@@ -1,0 +1,20 @@
+(** Self-stabilizing BFS spanning tree (Dolev, Israeli & Moran style).
+
+    State: a distance estimate in [\[0, n\]]. The root (pid 0) is enabled
+    when its estimate is non-zero and resets it to 0; every other process
+    is enabled when its estimate differs from
+    [min(n, 1 + min over neighbor estimates)] and recomputes it. From any
+    configuration the estimates contract to the unique fixed point — the
+    true BFS distances when all processes are live; with crashed (frozen)
+    processes the live part still reaches a fixed point around the frozen
+    boundary values. A BFS parent is recoverable as any neighbor whose
+    estimate is one less.
+
+    The protocol is {e silent}: legitimacy is "no live process enabled",
+    so the error measure is the number of live enabled processes. *)
+
+val make : graph:Cgraph.Graph.t -> Protocol.t
+
+val distances : Cgraph.Graph.t -> int array
+(** True BFS distances from pid 0 (the crash-free fixed point), with
+    unreachable vertices at [n]. For tests. *)

@@ -1,0 +1,25 @@
+let make ~graph =
+  let palette = Cgraph.Graph.max_degree graph + 1 in
+  let conflict (v : Protocol.view) =
+    Array.exists (fun (_, s) -> s = v.state) v.neighbors
+  in
+  let smallest_free (v : Protocol.view) =
+    let used = Array.make palette false in
+    Array.iter (fun (_, s) -> if s >= 0 && s < palette then used.(s) <- true) v.neighbors;
+    let rec find c = if c >= palette || not used.(c) then c else find (c + 1) in
+    (* A free color always exists because palette > degree. *)
+    min (find 0) (palette - 1)
+  in
+  {
+    Protocol.name = "coloring";
+    init = (fun rng _pid -> Sim.Rng.int rng palette);
+    corrupt = (fun rng _pid -> Sim.Rng.int rng palette);
+    enabled = conflict;
+    step = smallest_free;
+    error =
+      (fun g states alive ->
+        let bad = ref 0 in
+        Cgraph.Graph.iter_edges g (fun i j ->
+            if states.(i) = states.(j) && (alive i || alive j) then incr bad);
+        !bad);
+  }

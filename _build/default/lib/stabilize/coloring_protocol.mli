@@ -1,0 +1,15 @@
+(** Self-stabilizing graph coloring under a distributed daemon.
+
+    State: a color in [\[0, palette)]. A process is enabled iff some
+    neighbor currently has the same color; its step recolors it with the
+    smallest color unused in its neighborhood. Under local mutual
+    exclusion each executed step removes at least one conflict edge and
+    creates none, so the protocol converges from any configuration; it is
+    also crash-tolerant, because a live process adjacent to a crashed
+    (frozen) conflicting process simply moves away from the frozen color.
+    This is the protocol used by experiment E7 to show that a wait-free
+    daemon rescues stabilization under crash faults. *)
+
+val make : graph:Cgraph.Graph.t -> Protocol.t
+(** Palette size is [max_degree + 1] (always sufficient). Error measure:
+    the number of monochromatic edges with at least one live endpoint. *)

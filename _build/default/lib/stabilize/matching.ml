@@ -1,0 +1,90 @@
+let null = 0
+let points_at state = state - 1
+let pointer_to pid = pid + 1
+
+let make () =
+  let neighbor_state (v : Protocol.view) j =
+    match Array.find_opt (fun (pid, _) -> pid = j) v.neighbors with
+    | Some (_, s) -> Some s
+    | None -> None
+  in
+  let accept_candidate (v : Protocol.view) =
+    (* Lowest-pid neighbor pointing at us, for determinism. *)
+    Array.to_list v.neighbors
+    |> List.filter (fun (_, s) -> s = pointer_to v.self)
+    |> List.map fst |> List.sort compare
+    |> function
+    | j :: _ -> Some j
+    | [] -> None
+  in
+  let propose_candidate (v : Protocol.view) =
+    Array.to_list v.neighbors
+    |> List.filter (fun (_, s) -> s = null)
+    |> List.map fst |> List.sort compare
+    |> function
+    | j :: _ -> Some j
+    | [] -> None
+  in
+  let must_back_off (v : Protocol.view) =
+    v.state <> null
+    &&
+    let j = points_at v.state in
+    match neighbor_state v j with
+    | None -> true (* dangling pointer from a transient fault *)
+    | Some sj -> sj <> null && sj <> pointer_to v.self
+  in
+  let enabled v =
+    if v.Protocol.state = null then
+      accept_candidate v <> None || propose_candidate v <> None
+    else must_back_off v
+  in
+  let step v =
+    if v.Protocol.state = null then
+      match accept_candidate v with
+      | Some j -> pointer_to j
+      | None -> (
+          match propose_candidate v with
+          | Some j -> pointer_to j
+          | None -> v.state)
+    else null (* back off *)
+  in
+  {
+    Protocol.name = "matching";
+    init = (fun rng pid -> if Sim.Rng.bool rng then null else pointer_to (Sim.Rng.int rng (pid + 2)));
+    corrupt = (fun rng pid -> if Sim.Rng.bool rng then null else pointer_to (Sim.Rng.int rng (pid + 2)));
+    enabled;
+    step;
+    error =
+      (fun g states alive ->
+        let n = Cgraph.Graph.n g in
+        let bad = ref 0 in
+        for i = 0 to n - 1 do
+          if alive i then begin
+            let s = states.(i) in
+            if s <> null then begin
+              let j = points_at s in
+              if j < 0 || j >= n || not (Cgraph.Graph.is_edge g i j) then incr bad
+              else begin
+                let sj = states.(j) in
+                (* A live process pointing at a process that points elsewhere
+                   (not at i, not null) is in violation. *)
+                if sj <> pointer_to i && sj <> null && alive j then incr bad;
+                if sj <> pointer_to i && not (alive j) then
+                  (* pointing at a frozen crashed process that will never
+                     reciprocate *)
+                  incr bad
+              end
+            end
+            else begin
+              (* Unmatched: must have no unmatched live neighbor. *)
+              let has_free_live_neighbor =
+                Array.exists
+                  (fun j -> alive j && states.(j) = null)
+                  (Cgraph.Graph.neighbors g i)
+              in
+              if has_free_live_neighbor then incr bad
+            end
+          end
+        done;
+        !bad);
+  }

@@ -1,0 +1,21 @@
+(** Self-stabilizing maximal matching (Hsu & Huang 1992 style).
+
+    State encodes a pointer: [0] = unmatched (null), [j + 1] = pointing at
+    neighbor [j]. Guarded commands for process [i] with pointer [p_i]:
+
+    - {e accept}: [p_i = null] and some neighbor [j] points at [i] — set
+      [p_i := j];
+    - {e propose}: [p_i = null], nobody points at [i], and some neighbor
+      [j] is null — set [p_i := j] (lowest such [j], deterministically);
+    - {e back off}: [p_i = j] but [j] points neither at [i] nor null — set
+      [p_i := null].
+
+    Under local mutual exclusion this converges to a maximal matching:
+    mutually pointing pairs are matched and every unmatched process has no
+    unmatched neighbor. *)
+
+val make : unit -> Protocol.t
+(** Error measure: the number of live processes that violate the maximal
+    matching predicate (pointing at a non-reciprocating matched process,
+    pointing at a non-neighbor, or unmatched while having an unmatched
+    live neighbor). *)

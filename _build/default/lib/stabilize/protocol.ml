@@ -1,0 +1,12 @@
+type view = { self : int; state : int; neighbors : (int * int) array }
+
+type t = {
+  name : string;
+  init : Sim.Rng.t -> int -> int;
+  corrupt : Sim.Rng.t -> int -> int;
+  enabled : view -> bool;
+  step : view -> int;
+  error : Cgraph.Graph.t -> int array -> (int -> bool) -> int;
+}
+
+let legitimate t graph states alive = t.error graph states alive = 0

@@ -1,0 +1,35 @@
+(** Guarded-command interface for self-stabilizing protocols.
+
+    A protocol is the program the distributed daemon schedules: per the
+    paper's Section 1–2, each diner corresponds to a protocol process, and
+    being scheduled to eat means executing one enabled guarded command
+    under local mutual exclusion. States are integers; each concrete
+    protocol documents its encoding. *)
+
+type view = {
+  self : int;            (** the process's pid *)
+  state : int;           (** its current local state *)
+  neighbors : (int * int) array;  (** (pid, state) of each conflict-graph neighbor *)
+}
+
+type t = {
+  name : string;
+  init : Sim.Rng.t -> int -> int;
+      (** [init rng pid]: an {e arbitrary} initial state — self-stabilizing
+          protocols must converge from anywhere, so this is adversarial
+          (random), not a clean start. *)
+  corrupt : Sim.Rng.t -> int -> int;
+      (** A transient-fault value for the given pid. *)
+  enabled : view -> bool;
+      (** Whether the process has an enabled guarded command. *)
+  step : view -> int;
+      (** The new local state produced by executing the enabled command;
+          only called when [enabled] holds on the same view. *)
+  error : Cgraph.Graph.t -> int array -> (int -> bool) -> int;
+      (** [error graph states alive]: how far the configuration is from a
+          legitimate one, restricted to constraints involving at least one
+          live process. 0 iff legitimate. *)
+}
+
+val legitimate : t -> Cgraph.Graph.t -> int array -> (int -> bool) -> bool
+(** [error ... = 0]. *)

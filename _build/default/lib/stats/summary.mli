@@ -1,0 +1,25 @@
+(** Descriptive statistics over samples. *)
+
+type t = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+}
+
+val empty : t
+(** All-zero summary for an empty sample set. *)
+
+val of_floats : float list -> t
+val of_ints : int list -> t
+
+val percentile : float array -> float -> float
+(** [percentile sorted q] with [q] in [\[0, 1\]], by linear interpolation
+    between closest ranks. The array must be sorted ascending and
+    non-empty. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Baselines Cgraph Dining Fd Hashtbl List Net Sim

@@ -1,0 +1,1 @@
+test/test_detector.ml: Alcotest Cgraph Fd List Net Sim

@@ -1,0 +1,1 @@
+test/test_dining.ml: Alcotest Array Cgraph Dining Fd Format List Monitor Net Sim String

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Cgraph Int64 List Printf QCheck QCheck_alcotest Result String

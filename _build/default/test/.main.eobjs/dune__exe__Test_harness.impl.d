@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Array Cgraph Format Harness Int64 List Monitor Net QCheck QCheck_alcotest String

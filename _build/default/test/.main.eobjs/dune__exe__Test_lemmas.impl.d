@@ -1,0 +1,1 @@
+test/test_lemmas.ml: Alcotest Cgraph Harness Int64 List Monitor Net Option QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_monitor.ml: Alcotest Array Cgraph Dining Fd List Monitor Net Sim

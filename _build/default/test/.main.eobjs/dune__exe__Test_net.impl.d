@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Cgraph Int64 List Net QCheck QCheck_alcotest Sim

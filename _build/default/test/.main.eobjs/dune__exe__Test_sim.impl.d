@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Fun Hashtbl Int64 List Option QCheck QCheck_alcotest Sim

@@ -1,0 +1,1 @@
+test/test_soak.ml: Alcotest Cgraph Harness List Monitor Net Printf

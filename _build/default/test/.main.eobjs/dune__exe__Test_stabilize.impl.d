@@ -1,0 +1,1 @@
+test/test_stabilize.ml: Alcotest Array Cgraph Dining Fd Int64 Net QCheck QCheck_alcotest Sim Stabilize

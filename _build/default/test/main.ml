@@ -1,0 +1,17 @@
+let () =
+  Alcotest.run "repro"
+    [
+      ("sim", Test_sim.suite);
+      ("graph", Test_graph.suite);
+      ("net", Test_net.suite);
+      ("detector", Test_detector.suite);
+      ("dining", Test_dining.suite);
+      ("lemmas", Test_lemmas.suite);
+      ("baselines", Test_baselines.suite);
+      ("monitor", Test_monitor.suite);
+      ("stats", Test_stats.suite);
+      ("stabilize", Test_stabilize.suite);
+      ("harness", Test_harness.suite);
+      ("mcheck", Test_mcheck.suite);
+      ("soak", Test_soak.suite);
+    ]

@@ -1,0 +1,229 @@
+(* Tests for the failure detectors: Never, Perfect, Oracle (scripted
+   evp-P1), and the heartbeat implementation under partial synchrony. *)
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+let ring n = Cgraph.Topology.build (Cgraph.Topology.Ring n)
+
+let never_suspects_nothing () =
+  let d = Fd.Never.create () in
+  check bool "never suspects" false (d.Fd.Detector.suspects ~observer:0 ~target:1)
+
+let perfect_tracks_crashes () =
+  let engine = Sim.Engine.create () in
+  let graph = ring 4 in
+  let faults = Net.Faults.create engine ~n:4 in
+  let d = Fd.Perfect.create engine faults graph in
+  let notified = ref [] in
+  d.Fd.Detector.subscribe (fun obs -> notified := obs :: !notified);
+  Net.Faults.schedule_crash faults ~pid:2 ~at:10;
+  Sim.Engine.run_all engine;
+  check bool "suspects crashed" true (d.Fd.Detector.suspects ~observer:1 ~target:2);
+  check bool "does not suspect live" false (d.Fd.Detector.suspects ~observer:0 ~target:1);
+  check (Alcotest.list int) "both neighbors notified" [ 1; 3 ] (List.sort compare !notified)
+
+(* ------------------------------ Oracle ----------------------------- *)
+
+let oracle_completeness () =
+  let engine = Sim.Engine.create () in
+  let graph = ring 4 in
+  let faults = Net.Faults.create engine ~n:4 in
+  let _, d = Fd.Oracle.create engine faults graph ~detection_delay:25 () in
+  Net.Faults.schedule_crash faults ~pid:0 ~at:100;
+  ignore (Sim.Engine.schedule engine ~at:110 (fun () ->
+      check bool "not yet detected" false (d.Fd.Detector.suspects ~observer:1 ~target:0)));
+  ignore (Sim.Engine.schedule engine ~at:130 (fun () ->
+      check bool "detected after delay" true (d.Fd.Detector.suspects ~observer:1 ~target:0);
+      check bool "by both neighbors" true (d.Fd.Detector.suspects ~observer:3 ~target:0)));
+  Sim.Engine.run_all engine
+
+let oracle_false_positive_windows () =
+  let engine = Sim.Engine.create () in
+  let graph = ring 4 in
+  let faults = Net.Faults.create engine ~n:4 in
+  let fps = [ { Fd.Oracle.observer = 1; target = 2; from_t = 50; till_t = 80 } ] in
+  let oracle, d = Fd.Oracle.create engine faults graph ~false_positives:fps () in
+  let changes = ref 0 in
+  d.Fd.Detector.subscribe (fun _ -> incr changes);
+  ignore (Sim.Engine.schedule engine ~at:60 (fun () ->
+      check bool "suspected inside window" true (d.Fd.Detector.suspects ~observer:1 ~target:2)));
+  ignore (Sim.Engine.schedule engine ~at:90 (fun () ->
+      check bool "cleared after window" false (d.Fd.Detector.suspects ~observer:1 ~target:2)));
+  Sim.Engine.run_all engine;
+  check int "two output changes" 2 !changes;
+  check int "convergence = window end" 80 (Fd.Oracle.convergence_time oracle)
+
+let oracle_overlapping_windows () =
+  let engine = Sim.Engine.create () in
+  let graph = ring 4 in
+  let faults = Net.Faults.create engine ~n:4 in
+  let fps =
+    [
+      { Fd.Oracle.observer = 0; target = 1; from_t = 10; till_t = 50 };
+      { Fd.Oracle.observer = 0; target = 1; from_t = 30; till_t = 70 };
+    ]
+  in
+  let _, d = Fd.Oracle.create engine faults graph ~false_positives:fps () in
+  ignore (Sim.Engine.schedule engine ~at:55 (fun () ->
+      check bool "still suspected (second window)" true (d.Fd.Detector.suspects ~observer:0 ~target:1)));
+  ignore (Sim.Engine.schedule engine ~at:75 (fun () ->
+      check bool "cleared after both" false (d.Fd.Detector.suspects ~observer:0 ~target:1)));
+  Sim.Engine.run_all engine
+
+let oracle_convergence_accounts_crashes () =
+  let engine = Sim.Engine.create () in
+  let graph = ring 4 in
+  let faults = Net.Faults.create engine ~n:4 in
+  let oracle, _ = Fd.Oracle.create engine faults graph ~detection_delay:40 () in
+  Net.Faults.schedule_crash faults ~pid:1 ~at:500;
+  check int "conv = crash + delay" 540 (Fd.Oracle.convergence_time oracle)
+
+let oracle_rejects_bad_fp () =
+  let engine = Sim.Engine.create () in
+  let graph = ring 4 in
+  let faults = Net.Faults.create engine ~n:4 in
+  Alcotest.check_raises "non-neighbor fp"
+    (Invalid_argument "Oracle: false positive between non-neighbors") (fun () ->
+      ignore
+        (Fd.Oracle.create engine faults graph
+           ~false_positives:[ { Fd.Oracle.observer = 0; target = 2; from_t = 0; till_t = 5 } ]
+           ()))
+
+let oracle_random_fp_structure () =
+  let rng = Sim.Rng.create 21L in
+  let graph = ring 6 in
+  let fps = Fd.Oracle.random_false_positives rng graph ~before:1000 ~per_edge:2 ~max_len:50 in
+  check int "count = 2 per directed edge" (2 * 2 * 6) (List.length fps);
+  List.iter
+    (fun fp ->
+      check bool "window inside horizon" true
+        (fp.Fd.Oracle.from_t >= 0 && fp.till_t <= 1000 && fp.from_t < fp.till_t);
+      check bool "neighbors only" true (Cgraph.Graph.is_edge graph fp.observer fp.target))
+    fps
+
+(* ----------------------------- Heartbeat --------------------------- *)
+
+let heartbeat_setup ?(period = 20) ?(initial_timeout = 30) ?(bump = 25) ~delay ~n () =
+  let engine = Sim.Engine.create () in
+  let graph = ring n in
+  let faults = Net.Faults.create engine ~n in
+  let rng = Sim.Rng.create 17L in
+  let hb, d =
+    Fd.Heartbeat.create ~engine ~faults ~graph ~delay ~rng ~period ~initial_timeout ~bump ()
+  in
+  (engine, faults, hb, d)
+
+let heartbeat_no_mistakes_when_fast () =
+  (* Delays well under the timeout: the detector should never suspect. *)
+  let engine, _, hb, d = heartbeat_setup ~delay:(Net.Delay.Fixed 2) ~n:4 () in
+  Sim.Engine.run engine ~until:5_000;
+  check int "no mistakes" 0 (Fd.Heartbeat.mistakes hb);
+  check bool "nobody suspected" false (d.Fd.Detector.suspects ~observer:0 ~target:1)
+
+let heartbeat_completeness () =
+  let engine, faults, _, d = heartbeat_setup ~delay:(Net.Delay.Fixed 2) ~n:4 () in
+  Net.Faults.schedule_crash faults ~pid:2 ~at:1_000;
+  Sim.Engine.run engine ~until:5_000;
+  check bool "crashed suspected by 1" true (d.Fd.Detector.suspects ~observer:1 ~target:2);
+  check bool "crashed suspected by 3" true (d.Fd.Detector.suspects ~observer:3 ~target:2);
+  check bool "live unsuspected" false (d.Fd.Detector.suspects ~observer:0 ~target:1)
+
+let heartbeat_eventual_accuracy_under_ps () =
+  (* Pre-GST delays regularly exceed the initial timeout, forcing
+     mistakes; adaptive timeouts must converge after GST. *)
+  let delay = Net.Delay.Partial_synchrony { gst = 10_000; pre = (1, 120); post = (1, 5) } in
+  let engine, _, hb, d = heartbeat_setup ~delay ~n:4 () in
+  Sim.Engine.run engine ~until:60_000;
+  check bool "made mistakes before GST" true (Fd.Heartbeat.mistakes hb > 0);
+  (match Fd.Heartbeat.last_mistake hb with
+  | Some t -> check bool "mistakes stop after GST settles" true (t < 20_000)
+  | None -> Alcotest.fail "expected some mistakes");
+  for i = 0 to 3 do
+    check bool "accurate at the end" false (d.Fd.Detector.suspects ~observer:i ~target:((i + 1) mod 4))
+  done
+
+let heartbeat_timeout_grows () =
+  let delay = Net.Delay.Partial_synchrony { gst = 5_000; pre = (1, 120); post = (1, 5) } in
+  let engine, _, hb, _ = heartbeat_setup ~delay ~n:4 () in
+  let before = Fd.Heartbeat.timeout hb ~observer:0 ~target:1 in
+  Sim.Engine.run engine ~until:30_000;
+  check bool "adaptive timeout increased" true (Fd.Heartbeat.timeout hb ~observer:0 ~target:1 >= before);
+  check bool "mistakes happened" true (Fd.Heartbeat.mistakes hb > 0)
+
+let heartbeat_notifies_subscribers () =
+  let engine, faults, _, d = heartbeat_setup ~delay:(Net.Delay.Fixed 2) ~n:4 () in
+  let changes = ref [] in
+  d.Fd.Detector.subscribe (fun obs -> changes := obs :: !changes);
+  Net.Faults.schedule_crash faults ~pid:0 ~at:500;
+  Sim.Engine.run engine ~until:3_000;
+  let observers = List.sort_uniq compare !changes in
+  check (Alcotest.list int) "both neighbors of the crashed notified" [ 1; 3 ] observers
+
+(* ---------------------------- Unreliable --------------------------- *)
+
+let unreliable_keeps_lying () =
+  let engine = Sim.Engine.create () in
+  let graph = ring 4 in
+  let faults = Net.Faults.create engine ~n:4 in
+  let d =
+    Fd.Unreliable.create engine faults graph (Sim.Rng.create 5L) ~period:100 ~duration:20
+      ~horizon:10_000 ()
+  in
+  (* Sample suspicion of a live pair across the whole run: it must recur
+     arbitrarily late (no convergence). *)
+  let last_lie = ref 0 in
+  let rec sample t =
+    if t <= 10_000 then
+      ignore
+        (Sim.Engine.schedule engine ~at:t (fun () ->
+             if d.Fd.Detector.suspects ~observer:0 ~target:1 then last_lie := t;
+             sample (t + 10)))
+  in
+  sample 0;
+  Sim.Engine.run_all engine;
+  check bool "false suspicions recur late in the run" true (!last_lie > 9_000)
+
+let unreliable_still_complete () =
+  let engine = Sim.Engine.create () in
+  let graph = ring 4 in
+  let faults = Net.Faults.create engine ~n:4 in
+  let d =
+    Fd.Unreliable.create engine faults graph (Sim.Rng.create 5L) ~detection_delay:30
+      ~horizon:5_000 ()
+  in
+  Net.Faults.schedule_crash faults ~pid:2 ~at:1_000;
+  Sim.Engine.run engine ~until:5_000;
+  check bool "crashed permanently suspected" true (d.Fd.Detector.suspects ~observer:1 ~target:2)
+
+let unreliable_validates () =
+  let engine = Sim.Engine.create () in
+  let graph = ring 4 in
+  let faults = Net.Faults.create engine ~n:4 in
+  Alcotest.check_raises "duration >= period rejected"
+    (Invalid_argument "Unreliable.create: need 0 < duration < period") (fun () ->
+      ignore
+        (Fd.Unreliable.create engine faults graph (Sim.Rng.create 1L) ~period:10 ~duration:10
+           ~horizon:100 ()))
+
+let suite =
+  [
+    Alcotest.test_case "never: constant output" `Quick never_suspects_nothing;
+    Alcotest.test_case "unreliable: accuracy violated forever" `Quick unreliable_keeps_lying;
+    Alcotest.test_case "unreliable: completeness retained" `Quick unreliable_still_complete;
+    Alcotest.test_case "unreliable: parameter validation" `Quick unreliable_validates;
+    Alcotest.test_case "perfect: instant completeness, no mistakes" `Quick perfect_tracks_crashes;
+    Alcotest.test_case "oracle: local strong completeness" `Quick oracle_completeness;
+    Alcotest.test_case "oracle: scripted false positives" `Quick oracle_false_positive_windows;
+    Alcotest.test_case "oracle: overlapping windows" `Quick oracle_overlapping_windows;
+    Alcotest.test_case "oracle: convergence time with crashes" `Quick oracle_convergence_accounts_crashes;
+    Alcotest.test_case "oracle: validates windows" `Quick oracle_rejects_bad_fp;
+    Alcotest.test_case "oracle: random window generator" `Quick oracle_random_fp_structure;
+    Alcotest.test_case "heartbeat: quiet when delays are short" `Quick heartbeat_no_mistakes_when_fast;
+    Alcotest.test_case "heartbeat: completeness" `Quick heartbeat_completeness;
+    Alcotest.test_case "heartbeat: eventual accuracy under partial synchrony" `Quick
+      heartbeat_eventual_accuracy_under_ps;
+    Alcotest.test_case "heartbeat: adaptive timeout grows" `Quick heartbeat_timeout_grows;
+    Alcotest.test_case "heartbeat: change notifications" `Quick heartbeat_notifies_subscribers;
+  ]

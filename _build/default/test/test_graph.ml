@@ -1,0 +1,214 @@
+(* Tests for conflict graphs, topology generators and coloring. *)
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+let graph_basics () =
+  let g = Cgraph.Graph.of_edges ~n:4 [ (0, 1); (1, 2); (2, 3); (3, 0) ] in
+  check int "n" 4 (Cgraph.Graph.n g);
+  check int "edges" 4 (Cgraph.Graph.edge_count g);
+  check bool "edge present" true (Cgraph.Graph.is_edge g 0 1);
+  check bool "symmetric" true (Cgraph.Graph.is_edge g 1 0);
+  check bool "absent" false (Cgraph.Graph.is_edge g 0 2);
+  check bool "no self edge" false (Cgraph.Graph.is_edge g 1 1);
+  check int "degree" 2 (Cgraph.Graph.degree g 0);
+  check int "max degree" 2 (Cgraph.Graph.max_degree g)
+
+let graph_dedup_and_orientation () =
+  let g = Cgraph.Graph.of_edges ~n:3 [ (0, 1); (1, 0); (0, 1); (2, 1) ] in
+  check int "deduplicated" 2 (Cgraph.Graph.edge_count g);
+  check bool "canonical edge list" true (Cgraph.Graph.edges g = [ (0, 1); (1, 2) ])
+
+let graph_rejects_bad_input () =
+  Alcotest.check_raises "self loop" (Invalid_argument "Graph.of_edges: self-loop") (fun () ->
+      ignore (Cgraph.Graph.of_edges ~n:3 [ (1, 1) ]));
+  Alcotest.check_raises "n = 0" (Invalid_argument "Graph.of_edges: n must be positive")
+    (fun () -> ignore (Cgraph.Graph.of_edges ~n:0 []));
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Graph.of_edges: endpoint out of range (0, 7)") (fun () ->
+      ignore (Cgraph.Graph.of_edges ~n:3 [ (0, 7) ]))
+
+let graph_neighbors_sorted () =
+  let g = Cgraph.Graph.of_edges ~n:5 [ (2, 4); (2, 0); (2, 3); (2, 1) ] in
+  check (Alcotest.list int) "sorted" [ 0; 1; 3; 4 ] (Array.to_list (Cgraph.Graph.neighbors g 2))
+
+let graph_connectivity () =
+  let connected = Cgraph.Graph.of_edges ~n:3 [ (0, 1); (1, 2) ] in
+  let disconnected = Cgraph.Graph.of_edges ~n:4 [ (0, 1); (2, 3) ] in
+  check bool "connected" true (Cgraph.Graph.is_connected connected);
+  check bool "disconnected" false (Cgraph.Graph.is_connected disconnected)
+
+let graph_distances () =
+  let g = Cgraph.Topology.build (Cgraph.Topology.Ring 6) in
+  check (Alcotest.list int) "from 0" [ 0; 1; 2; 3; 2; 1 ]
+    (Array.to_list (Cgraph.Graph.distances_from g 0));
+  check (Alcotest.list int) "from 3" [ 3; 2; 1; 0; 1; 2 ]
+    (Array.to_list (Cgraph.Graph.distances_from g 3));
+  let disconnected = Cgraph.Graph.of_edges ~n:4 [ (0, 1); (2, 3) ] in
+  check (Alcotest.list int) "unreachable = n" [ 0; 1; 4; 4 ]
+    (Array.to_list (Cgraph.Graph.distances_from disconnected 0));
+  Alcotest.check_raises "bad source" (Invalid_argument "Graph.distances_from: bad vertex")
+    (fun () -> ignore (Cgraph.Graph.distances_from g 9))
+
+let graph_to_dot () =
+  let g = Cgraph.Graph.of_edges ~n:3 [ (0, 1); (1, 2) ] in
+  let dot =
+    Cgraph.Graph.to_dot g
+      ~vertex_label:(fun i -> Printf.sprintf "p%d" i)
+      ~vertex_color:(fun i -> if i = 1 then Some "red" else None)
+  in
+  let contains needle =
+    let nl = String.length needle in
+    let rec go i = i + nl <= String.length dot && (String.sub dot i nl = needle || go (i + 1)) in
+    go 0
+  in
+  check bool "edges rendered" true (contains "0 -- 1;" && contains "1 -- 2;");
+  check bool "labels rendered" true (contains "label=\"p0\"");
+  check bool "colors rendered" true (contains "fillcolor=\"red\"");
+  check bool "valid dot skeleton" true (contains "graph conflict {" && contains "}")
+
+(* ----------------------------- Topology ---------------------------- *)
+
+let expected_shape = function
+  | Cgraph.Topology.Ring n -> (n, n, 2)
+  | Path n -> (n, n - 1, 2)
+  | Clique n -> (n, n * (n - 1) / 2, n - 1)
+  | Star n -> (n, n - 1, n - 1)
+  | Grid (r, c) -> (r * c, (r * (c - 1)) + (c * (r - 1)), if r > 1 && c > 1 then 4 else 2)
+  | Torus (r, c) -> (r * c, 2 * r * c, 4)
+  | Binary_tree n -> (n, n - 1, -1)
+  | Hypercube d -> (1 lsl d, d * (1 lsl (d - 1)), d)
+  | Wheel n -> (n, 2 * (n - 1), n - 1)
+  | Bipartite (a, b) -> (a + b, a * b, max a b)
+  | Random_gnp (n, _, _) -> (n, -1, -1)
+
+let topology_shapes () =
+  List.iter
+    (fun spec ->
+      let g = Cgraph.Topology.build spec in
+      let n, m, delta = expected_shape spec in
+      let name = Cgraph.Topology.name spec in
+      check int (name ^ " vertices") n (Cgraph.Graph.n g);
+      if m >= 0 then check int (name ^ " edges") m (Cgraph.Graph.edge_count g);
+      if delta >= 0 && (match spec with Grid _ -> false | _ -> true) then
+        check int (name ^ " max degree") delta (Cgraph.Graph.max_degree g);
+      check bool (name ^ " connected") true (Cgraph.Graph.is_connected g))
+    Cgraph.Topology.all_small
+
+let topology_ring_structure () =
+  let g = Cgraph.Topology.build (Cgraph.Topology.Ring 6) in
+  for i = 0 to 5 do
+    check bool "ring edge" true (Cgraph.Graph.is_edge g i ((i + 1) mod 6))
+  done
+
+let topology_torus_regular () =
+  let g = Cgraph.Topology.build (Cgraph.Topology.Torus (3, 5)) in
+  for i = 0 to Cgraph.Graph.n g - 1 do
+    check int "4-regular" 4 (Cgraph.Graph.degree g i)
+  done
+
+let topology_wheel_structure () =
+  let g = Cgraph.Topology.build (Cgraph.Topology.Wheel 6) in
+  for rim = 1 to 5 do
+    check bool "hub connected to rim" true (Cgraph.Graph.is_edge g 0 rim);
+    check int "rim degree" 3 (Cgraph.Graph.degree g rim)
+  done;
+  check bool "rim cycle closes" true (Cgraph.Graph.is_edge g 5 1)
+
+let topology_bipartite_structure () =
+  let g = Cgraph.Topology.build (Cgraph.Topology.Bipartite (2, 3)) in
+  check bool "cross edges" true (Cgraph.Graph.is_edge g 0 2 && Cgraph.Graph.is_edge g 1 4);
+  check bool "no intra-side edges" true
+    ((not (Cgraph.Graph.is_edge g 0 1)) && not (Cgraph.Graph.is_edge g 2 3));
+  (* Bipartite graphs are 2-colorable; greedy achieves it. *)
+  check int "2 colors suffice" 2
+    (Cgraph.Coloring.color_count (Cgraph.Coloring.greedy g))
+
+let topology_gnp_deterministic () =
+  let a = Cgraph.Topology.build (Cgraph.Topology.Random_gnp (20, 0.3, 9L)) in
+  let b = Cgraph.Topology.build (Cgraph.Topology.Random_gnp (20, 0.3, 9L)) in
+  check bool "same seed same graph" true (Cgraph.Graph.edges a = Cgraph.Graph.edges b);
+  let c = Cgraph.Topology.build (Cgraph.Topology.Random_gnp (20, 0.3, 10L)) in
+  check bool "different seed different graph" true (Cgraph.Graph.edges a <> Cgraph.Graph.edges c)
+
+let topology_rejects () =
+  Alcotest.check_raises "tiny ring" (Invalid_argument "Topology.build: ring needs n >= 3")
+    (fun () -> ignore (Cgraph.Topology.build (Cgraph.Topology.Ring 2)))
+
+let topology_parse_roundtrip () =
+  List.iter
+    (fun (s, expected) ->
+      match Cgraph.Topology.parse s with
+      | Ok spec ->
+          check Alcotest.string ("parse " ^ s) (Cgraph.Topology.name expected)
+            (Cgraph.Topology.name spec)
+      | Error e -> Alcotest.fail e)
+    [
+      ("ring:8", Cgraph.Topology.Ring 8);
+      ("clique:5", Cgraph.Topology.Clique 5);
+      ("grid:3x4", Cgraph.Topology.Grid (3, 4));
+      ("torus:3x3", Cgraph.Topology.Torus (3, 3));
+      ("gnp:10:0.25:4", Cgraph.Topology.Random_gnp (10, 0.25, 4L));
+      ("cube:3", Cgraph.Topology.Hypercube 3);
+      ("wheel:6", Cgraph.Topology.Wheel 6);
+      ("bipartite:3x4", Cgraph.Topology.Bipartite (3, 4));
+    ];
+  check bool "garbage rejected" true (Result.is_error (Cgraph.Topology.parse "blorp:3"));
+  check bool "bad dims rejected" true (Result.is_error (Cgraph.Topology.parse "grid:3y4"))
+
+(* ----------------------------- Coloring ---------------------------- *)
+
+let coloring_proper_on_standards () =
+  List.iter
+    (fun spec ->
+      let g = Cgraph.Topology.build spec in
+      let colors = Cgraph.Coloring.greedy g in
+      check bool (Cgraph.Topology.name spec ^ " proper") true (Cgraph.Coloring.is_proper g colors);
+      check bool
+        (Cgraph.Topology.name spec ^ " <= delta+1 colors")
+        true
+        (Cgraph.Coloring.color_count colors <= Cgraph.Graph.max_degree g + 1))
+    Cgraph.Topology.all_small
+
+let coloring_proper_random =
+  QCheck.Test.make ~name:"coloring: greedy proper on random graphs" ~count:100
+    QCheck.(pair (int_range 2 24) (int_bound 10_000))
+    (fun (n, seed) ->
+      let g = Cgraph.Topology.build (Cgraph.Topology.Random_gnp (n, 0.3, Int64.of_int seed)) in
+      let colors = Cgraph.Coloring.greedy g in
+      Cgraph.Coloring.is_proper g colors
+      && Cgraph.Coloring.color_count colors <= Cgraph.Graph.max_degree g + 1)
+
+let coloring_detects_improper () =
+  let g = Cgraph.Graph.of_edges ~n:2 [ (0, 1) ] in
+  check bool "improper rejected" false (Cgraph.Coloring.is_proper g [| 1; 1 |]);
+  check bool "wrong length rejected" false (Cgraph.Coloring.is_proper g [| 1 |]);
+  check bool "negative rejected" false (Cgraph.Coloring.is_proper g [| -1; 1 |])
+
+let coloring_clique_needs_n () =
+  let g = Cgraph.Topology.build (Cgraph.Topology.Clique 5) in
+  check int "clique-5 uses 5 colors" 5 (Cgraph.Coloring.color_count (Cgraph.Coloring.greedy g))
+
+let suite =
+  [
+    Alcotest.test_case "graph: basics" `Quick graph_basics;
+    Alcotest.test_case "graph: dedup and canonical edges" `Quick graph_dedup_and_orientation;
+    Alcotest.test_case "graph: rejects bad input" `Quick graph_rejects_bad_input;
+    Alcotest.test_case "graph: neighbors sorted" `Quick graph_neighbors_sorted;
+    Alcotest.test_case "graph: connectivity" `Quick graph_connectivity;
+    Alcotest.test_case "graph: dot export" `Quick graph_to_dot;
+    Alcotest.test_case "graph: bfs distances" `Quick graph_distances;
+    Alcotest.test_case "topology: vertex/edge/degree counts" `Quick topology_shapes;
+    Alcotest.test_case "topology: ring structure" `Quick topology_ring_structure;
+    Alcotest.test_case "topology: torus regularity" `Quick topology_torus_regular;
+    Alcotest.test_case "topology: wheel structure" `Quick topology_wheel_structure;
+    Alcotest.test_case "topology: bipartite structure" `Quick topology_bipartite_structure;
+    Alcotest.test_case "topology: gnp determinism" `Quick topology_gnp_deterministic;
+    Alcotest.test_case "topology: size validation" `Quick topology_rejects;
+    Alcotest.test_case "topology: parser round-trips" `Quick topology_parse_roundtrip;
+    Alcotest.test_case "coloring: proper on standard topologies" `Quick coloring_proper_on_standards;
+    QCheck_alcotest.to_alcotest coloring_proper_random;
+    Alcotest.test_case "coloring: improper detection" `Quick coloring_detects_improper;
+    Alcotest.test_case "coloring: clique lower bound" `Quick coloring_clique_needs_n;
+  ]

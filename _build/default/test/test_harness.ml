@@ -1,0 +1,300 @@
+(* End-to-end properties of whole scenarios through the harness: the
+   paper's theorems as randomized properties over topologies, seeds,
+   crash plans and detectors. *)
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+let quiet_oracle : Harness.Scenario.detector_kind =
+  Harness.Scenario.Oracle { detection_delay = 50; fp_per_edge = 0; fp_window = 0; fp_max_len = 1 }
+
+let noisy_oracle : Harness.Scenario.detector_kind =
+  Harness.Scenario.Oracle { detection_delay = 50; fp_per_edge = 2; fp_window = 6_000; fp_max_len = 200 }
+
+let scenario ?(topology = Cgraph.Topology.Ring 8) ?(seed = 1L) ?(detector = quiet_oracle)
+    ?(algo = Harness.Scenario.Song_pike) ?(crashes = Harness.Scenario.No_crashes)
+    ?(workload = Harness.Scenario.default_workload) ?(horizon = 40_000) () : Harness.Scenario.t =
+  {
+    Harness.Scenario.default with
+    name = "test";
+    topology;
+    seed;
+    detector;
+    algo;
+    crashes;
+    workload;
+    horizon;
+    check_every = Some 101;
+  }
+
+(* -------------------------- basic plumbing ------------------------- *)
+
+let deterministic_replay () =
+  let s =
+    scenario ~topology:(Cgraph.Topology.Random_gnp (14, 0.25, 2L)) ~detector:noisy_oracle
+      ~crashes:(Harness.Scenario.Random_crashes { count = 2; from_t = 1_000; to_t = 9_000 })
+      ()
+  in
+  let a = Harness.Run.run s and b = Harness.Run.run s in
+  check int "same eats" a.total_eats b.total_eats;
+  check int "same events" a.events_processed b.events_processed;
+  check int "same violations" (Monitor.Exclusion.count a.exclusion) (Monitor.Exclusion.count b.exclusion);
+  check bool "same crash plan" true (a.crashed = b.crashed)
+
+let seed_changes_run () =
+  let s1 = scenario ~seed:1L () and s2 = scenario ~seed:2L () in
+  let a = Harness.Run.run s1 and b = Harness.Run.run s2 in
+  check bool "different seeds differ" true (a.events_processed <> b.events_processed)
+
+let crash_plans () =
+  let explicit =
+    scenario ~crashes:(Harness.Scenario.Crash_at [ (3, 1_000); (0, 500) ]) ()
+  in
+  let r = Harness.Run.run explicit in
+  check bool "explicit plan sorted" true (r.crashed = [ (0, 500); (3, 1_000) ]);
+  let random =
+    scenario ~crashes:(Harness.Scenario.Random_crashes { count = 3; from_t = 100; to_t = 5_000 }) ()
+  in
+  let r2 = Harness.Run.run random in
+  check int "three victims" 3 (List.length r2.crashed);
+  let pids = List.map fst r2.crashed in
+  check int "distinct victims" 3 (List.length (List.sort_uniq compare pids))
+
+let workload_drives_everyone () =
+  let r = Harness.Run.run (scenario ()) in
+  check bool "every process ate" true (Array.for_all (fun e -> e > 0) r.eats_per_process);
+  check bool "hungry transitions >= eats" true (r.hungry_transitions >= r.total_eats)
+
+(* ----------------------- theorem-shaped checks --------------------- *)
+
+let wait_freedom_property =
+  QCheck.Test.make ~name:"harness: wait-freedom on random scenarios (Theorem 2)" ~count:15
+    QCheck.(triple (int_bound 10_000) (int_range 0 4) (int_bound 2))
+    (fun (seed, crash_count, topo_idx) ->
+      let topology =
+        match topo_idx with
+        | 0 -> Cgraph.Topology.Ring 10
+        | 1 -> Cgraph.Topology.Clique 6
+        | _ -> Cgraph.Topology.Random_gnp (12, 0.3, Int64.of_int (seed + 1))
+      in
+      let s =
+        scenario ~topology ~seed:(Int64.of_int seed) ~detector:noisy_oracle
+          ~crashes:
+            (if crash_count = 0 then Harness.Scenario.No_crashes
+             else Harness.Scenario.Random_crashes { count = crash_count; from_t = 1_000; to_t = 15_000 })
+          ~horizon:50_000 ()
+      in
+      let r = Harness.Run.run s in
+      Harness.Run.starved r ~older_than:10_000 = [] && r.invariant_error = None)
+
+let safety_property =
+  QCheck.Test.make ~name:"harness: no violations after convergence (Theorem 1)" ~count:15
+    QCheck.(pair (int_bound 10_000) (int_bound 2))
+    (fun (seed, topo_idx) ->
+      let topology =
+        match topo_idx with
+        | 0 -> Cgraph.Topology.Ring 10
+        | 1 -> Cgraph.Topology.Clique 6
+        | _ -> Cgraph.Topology.Star 8
+      in
+      let s =
+        scenario ~topology ~seed:(Int64.of_int seed) ~detector:noisy_oracle
+          ~crashes:(Harness.Scenario.Random_crashes { count = 1; from_t = 1_000; to_t = 10_000 })
+          ~workload:{ think = (0, 100); eat = (5, 30) }
+          ~horizon:40_000 ()
+      in
+      let r = Harness.Run.run s in
+      Monitor.Exclusion.count_after r.exclusion r.convergence = 0)
+
+let bounded_waiting_property =
+  QCheck.Test.make ~name:"harness: 2-bounded waiting after convergence (Theorem 3)" ~count:10
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let s =
+        scenario ~topology:(Cgraph.Topology.Clique 5) ~seed:(Int64.of_int seed)
+          ~detector:noisy_oracle ~workload:Harness.Scenario.contended_workload ~horizon:40_000 ()
+      in
+      let r = Harness.Run.run s in
+      Monitor.Fairness.max_consecutive_for_sessions_from r.fairness r.convergence <= 2)
+
+let channel_capacity_property =
+  QCheck.Test.make ~name:"harness: <= 4 messages per edge (Section 7)" ~count:10
+    QCheck.(pair (int_bound 10_000) (int_bound 2))
+    (fun (seed, topo_idx) ->
+      let topology =
+        match topo_idx with
+        | 0 -> Cgraph.Topology.Torus (3, 3)
+        | 1 -> Cgraph.Topology.Clique 6
+        | _ -> Cgraph.Topology.Binary_tree 9
+      in
+      let s =
+        scenario ~topology ~seed:(Int64.of_int seed) ~detector:noisy_oracle
+          ~workload:Harness.Scenario.contended_workload
+          ~crashes:(Harness.Scenario.Random_crashes { count = 1; from_t = 500; to_t = 5_000 })
+          ~horizon:20_000 ()
+      in
+      let r = Harness.Run.run s in
+      Net.Link_stats.max_edge_watermark r.link_stats <= 4)
+
+let heartbeat_end_to_end () =
+  let s =
+    scenario
+      ~topology:(Cgraph.Topology.Ring 10)
+      ~detector:(Harness.Scenario.Heartbeat { period = 20; initial_timeout = 30; bump = 25 })
+      ~crashes:(Harness.Scenario.Crash_at [ (4, 10_000) ])
+      ~horizon:60_000 ()
+  in
+  let s = { s with delay = Net.Delay.Partial_synchrony { gst = 15_000; pre = (1, 100); post = (1, 8) } } in
+  let r = Harness.Run.run s in
+  check bool "wait-free" true (Harness.Run.starved r ~older_than:10_000 = []);
+  check int "safe after measured convergence" 0
+    (Monitor.Exclusion.count_after r.exclusion r.convergence);
+  check bool "invariants held" true (r.invariant_error = None)
+
+let choy_singh_baseline_contrast () =
+  let crashes = Harness.Scenario.Crash_at [ (2, 3_000) ] in
+  let ours = Harness.Run.run (scenario ~detector:quiet_oracle ~crashes ()) in
+  let baseline = Harness.Run.run (scenario ~detector:Harness.Scenario.Never ~crashes ()) in
+  check bool "ours wait-free" true (Harness.Run.starved ours ~older_than:10_000 = []);
+  check bool "baseline starves" true (Harness.Run.starved baseline ~older_than:10_000 <> []);
+  check bool "baseline still safe" true (Monitor.Exclusion.count baseline.exclusion = 0)
+
+let perfect_detector_is_perpetually_safe () =
+  let r =
+    Harness.Run.run
+      (scenario ~detector:Harness.Scenario.Perfect
+         ~crashes:(Harness.Scenario.Random_crashes { count = 3; from_t = 1_000; to_t = 10_000 })
+         ~workload:Harness.Scenario.contended_workload ())
+  in
+  check int "zero violations ever" 0 (Monitor.Exclusion.count r.exclusion);
+  check bool "wait-free" true (Harness.Run.starved r ~older_than:10_000 = [])
+
+let throughput_sane () =
+  let r = Harness.Run.run (scenario ()) in
+  check bool "throughput positive" true (Harness.Run.throughput r > 0.0);
+  check bool "eats within horizon" true (r.total_eats > 0)
+
+(* ------------------------- stabilize harness ----------------------- *)
+
+let stabilize_run_report () =
+  let spec =
+    {
+      Harness.Run_stabilize.protocol = Harness.Run_stabilize.Coloring;
+      transient_faults = [ (8_000, 3) ];
+      scenario =
+        scenario
+          ~topology:(Cgraph.Topology.Random_gnp (12, 0.3, 4L))
+          ~detector:noisy_oracle
+          ~crashes:(Harness.Scenario.Crash_at [ (1, 2_000) ])
+          ~horizon:40_000 ();
+    }
+  in
+  let r = Harness.Run_stabilize.run spec in
+  check bool "converged" true (r.outcome.converged_at <> None);
+  check int "no residual error" 0 r.outcome.final_error;
+  check bool "invariants" true (r.invariant_error = None);
+  check bool "error series recorded" true (List.length r.outcome.error_series > 1)
+
+let stabilize_token_ring_requires_ring () =
+  let spec =
+    {
+      Harness.Run_stabilize.protocol = Harness.Run_stabilize.Token_ring;
+      transient_faults = [];
+      scenario = scenario ~topology:(Cgraph.Topology.Clique 4) ();
+    }
+  in
+  Alcotest.check_raises "non-ring rejected"
+    (Invalid_argument "Run_stabilize: token ring needs a ring topology") (fun () ->
+      ignore (Harness.Run_stabilize.run spec))
+
+(* ------------------------- experiment registry --------------------- *)
+
+let unreliable_detector_breaks_safety_not_liveness () =
+  let s =
+    scenario
+      ~topology:(Cgraph.Topology.Clique 5)
+      ~detector:(Harness.Scenario.Unreliable { period = 1_000; duration = 120 })
+      ~workload:{ think = (0, 60); eat = (10, 30) }
+      ~crashes:(Harness.Scenario.Crash_at [ (1, 5_000) ])
+      ~horizon:40_000 ()
+  in
+  let r = Harness.Run.run s in
+  check bool "still wait-free" true (Harness.Run.starved r ~older_than:10_000 = []);
+  check bool "violations never stop (accuracy is load-bearing)" true
+    (Monitor.Exclusion.count_after r.exclusion (2 * 40_000 / 3) > 0);
+  check bool "structural lemmas still hold" true (r.invariant_error = None)
+
+let batch_aggregates () =
+  let s =
+    scenario
+      ~topology:(Cgraph.Topology.Ring 8)
+      ~detector:noisy_oracle
+      ~crashes:(Harness.Scenario.Random_crashes { count = 1; from_t = 1_000; to_t = 8_000 })
+      ~horizon:25_000 ()
+  in
+  let a = Harness.Batch.run ~seeds:4 s in
+  check int "runs" 4 a.runs;
+  check int "eats summary count" 4 a.total_eats.count;
+  check int "no post-convergence violations across seeds" 0 a.violations_after_conv_total;
+  check bool "bounded overtaking across seeds" true (a.max_overtakes_after_conv <= 2);
+  check int "nobody starved across seeds" 0 a.starved_total;
+  check bool "watermark" true (a.worst_edge_watermark <= 4);
+  check bool "invariants" true (a.invariant_errors = []);
+  check bool "pp renders" true (String.length (Format.asprintf "%a" Harness.Batch.pp a) > 0)
+
+let names_stable () =
+  check Alcotest.string "algo name" "song-pike" (Harness.Scenario.algo_name Harness.Scenario.Song_pike);
+  check Alcotest.string "ordered name" "ordered" (Harness.Scenario.algo_name Harness.Scenario.Ordered);
+  check Alcotest.string "never" "never" (Harness.Scenario.detector_name Harness.Scenario.Never);
+  check Alcotest.string "oracle" "oracle-evp" (Harness.Scenario.detector_name noisy_oracle);
+  check Alcotest.string "unreliable" "unreliable-forever"
+    (Harness.Scenario.detector_name (Harness.Scenario.Unreliable { period = 100; duration = 10 }));
+  check Alcotest.string "protocol names" "bfs-tree"
+    (Harness.Run_stabilize.protocol_name Harness.Run_stabilize.Bfs_tree)
+
+let phases_in_report () =
+  let r = Harness.Run.run (scenario ~workload:Harness.Scenario.contended_workload ()) in
+  let d = Monitor.Phases.doorway_summary r.phases in
+  let f = Monitor.Phases.fork_summary r.phases in
+  check bool "doorway samples collected" true (d.count > 100);
+  check bool "phase means are plausible" true (d.mean >= 0.0 && f.mean >= 0.0);
+  (* Baselines produce no doorway samples. *)
+  let rb =
+    Harness.Run.run
+      (scenario ~algo:Harness.Scenario.Chandy_misra ~detector:Harness.Scenario.Never ())
+  in
+  check int "no doorway samples for baselines" 0 (Monitor.Phases.doorway_summary rb.phases).count
+
+let experiments_registry () =
+  check int "eighteen experiments" 18 (List.length Harness.Experiments.all);
+  check bool "find e1" true (Harness.Experiments.find "E1" <> None);
+  check bool "unknown id" true (Harness.Experiments.find "zz" = None);
+  List.iter
+    (fun (e : Harness.Experiments.t) ->
+      check bool (e.id ^ " nonempty") true (e.title <> "" && e.claim <> ""))
+    Harness.Experiments.all
+
+let suite =
+  [
+    Alcotest.test_case "deterministic replay" `Quick deterministic_replay;
+    Alcotest.test_case "seed sensitivity" `Quick seed_changes_run;
+    Alcotest.test_case "crash plans" `Quick crash_plans;
+    Alcotest.test_case "workload drives everyone" `Quick workload_drives_everyone;
+    QCheck_alcotest.to_alcotest wait_freedom_property;
+    QCheck_alcotest.to_alcotest safety_property;
+    QCheck_alcotest.to_alcotest bounded_waiting_property;
+    QCheck_alcotest.to_alcotest channel_capacity_property;
+    Alcotest.test_case "heartbeat detector end to end" `Slow heartbeat_end_to_end;
+    Alcotest.test_case "Choy-Singh contrast (Theorem 2 motivation)" `Quick choy_singh_baseline_contrast;
+    Alcotest.test_case "perfect detector: perpetual exclusion" `Quick perfect_detector_is_perpetually_safe;
+    Alcotest.test_case "throughput sanity" `Quick throughput_sane;
+    Alcotest.test_case "unreliable detector: wait-free but never safe" `Quick
+      unreliable_detector_breaks_safety_not_liveness;
+    Alcotest.test_case "stabilize harness report" `Quick stabilize_run_report;
+    Alcotest.test_case "stabilize validates topology" `Quick stabilize_token_ring_requires_ring;
+    Alcotest.test_case "names are stable" `Quick names_stable;
+    Alcotest.test_case "phase breakdown in reports" `Quick phases_in_report;
+    Alcotest.test_case "batch: multi-seed aggregation" `Slow batch_aggregates;
+    Alcotest.test_case "experiment registry" `Quick experiments_registry;
+  ]

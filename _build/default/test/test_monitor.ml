@@ -1,0 +1,233 @@
+(* Tests for the runtime monitors, driven through a scripted mock daemon
+   so that transition timing is fully controlled. *)
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+type mock = {
+  engine : Sim.Engine.t;
+  faults : Net.Faults.t;
+  graph : Cgraph.Graph.t;
+  inst : Dining.Instance.t;
+  fire : int -> Dining.Types.phase -> unit;
+}
+
+let mock ?(n = 3) ?(edges = [ (0, 1); (1, 2) ]) () =
+  let engine = Sim.Engine.create () in
+  let graph = Cgraph.Graph.of_edges ~n edges in
+  let faults = Net.Faults.create engine ~n in
+  let listeners = ref [] in
+  let phases = Array.make n Dining.Types.Thinking in
+  let inst =
+    {
+      Dining.Instance.name = "mock";
+      become_hungry = (fun _ -> ());
+      stop_eating = (fun _ -> ());
+      phase = (fun pid -> phases.(pid));
+      add_listener = (fun f -> listeners := !listeners @ [ f ]);
+      check_invariants = (fun () -> ());
+    }
+  in
+  let fire pid phase =
+    phases.(pid) <- phase;
+    List.iter (fun f -> f pid phase) !listeners
+  in
+  { engine; faults; graph; inst; fire }
+
+(* Schedule a scripted transition at a virtual time. *)
+let at m t pid phase = ignore (Sim.Engine.schedule m.engine ~at:t (fun () -> m.fire pid phase))
+
+(* ----------------------------- Exclusion --------------------------- *)
+
+let exclusion_detects_overlap () =
+  let m = mock () in
+  let ex = Monitor.Exclusion.attach m.engine m.graph m.faults m.inst in
+  at m 10 0 Dining.Types.Eating;
+  at m 20 1 Dining.Types.Eating;
+  (* neighbors 0-1 overlap *)
+  at m 30 0 Dining.Types.Thinking;
+  at m 40 2 Dining.Types.Eating;
+  (* 1 still eating and 1-2 are neighbors: second violation *)
+  Sim.Engine.run_all m.engine;
+  check int "two violations" 2 (Monitor.Exclusion.count ex);
+  check bool "last at 40" true (Monitor.Exclusion.last_violation_time ex = Some 40);
+  check int "after t=35" 1 (Monitor.Exclusion.count_after ex 35);
+  match Monitor.Exclusion.violations ex with
+  | [ v1; v2 ] ->
+      check int "first eater" 1 v1.Monitor.Exclusion.eater;
+      check int "first neighbor" 0 v1.Monitor.Exclusion.neighbor;
+      check int "second eater" 2 v2.Monitor.Exclusion.eater
+  | _ -> Alcotest.fail "expected 2 violations"
+
+let exclusion_ignores_non_neighbors_and_crashed () =
+  let m = mock () in
+  let ex = Monitor.Exclusion.attach m.engine m.graph m.faults m.inst in
+  (* 0 and 2 are not neighbors. *)
+  at m 10 0 Dining.Types.Eating;
+  at m 20 2 Dining.Types.Eating;
+  (* A crashed eater does not count as a live violation partner. *)
+  Net.Faults.schedule_crash m.faults ~pid:0 ~at:30;
+  at m 40 1 Dining.Types.Eating;
+  Sim.Engine.run_all m.engine;
+  check int "no violations" 1 (Monitor.Exclusion.count ex);
+  (* wait: 1 eats at 40 while 2 (live) is eating and 1-2 are neighbors *)
+  check bool "only live pair recorded" true
+    ((List.hd (Monitor.Exclusion.violations ex)).Monitor.Exclusion.neighbor = 2)
+
+(* ----------------------------- Fairness ---------------------------- *)
+
+let fairness_counts_consecutive () =
+  let m = mock ~n:2 ~edges:[ (0, 1) ] () in
+  let fair = Monitor.Fairness.attach m.engine m.graph m.faults m.inst in
+  at m 10 0 Dining.Types.Hungry;
+  (* 1 eats three times while 0 stays hungry *)
+  at m 20 1 Dining.Types.Eating;
+  at m 25 1 Dining.Types.Thinking;
+  at m 30 1 Dining.Types.Eating;
+  at m 35 1 Dining.Types.Thinking;
+  at m 40 1 Dining.Types.Eating;
+  at m 45 1 Dining.Types.Thinking;
+  (* 0 finally eats: counter resets *)
+  at m 50 0 Dining.Types.Eating;
+  at m 55 0 Dining.Types.Thinking;
+  at m 60 0 Dining.Types.Hungry;
+  at m 70 1 Dining.Types.Eating;
+  Sim.Engine.run_all m.engine;
+  check int "max consecutive 3" 3 (Monitor.Fairness.max_consecutive fair);
+  check int "after reset only 1" 1 (Monitor.Fairness.max_consecutive_for_sessions_from fair 60);
+  check int "session boundary respected" 3
+    (Monitor.Fairness.max_consecutive_for_sessions_from fair 10)
+
+let fairness_windowed_series () =
+  let m = mock ~n:2 ~edges:[ (0, 1) ] () in
+  let fair = Monitor.Fairness.attach m.engine m.graph m.faults m.inst in
+  at m 5 0 Dining.Types.Hungry;
+  at m 10 1 Dining.Types.Eating;
+  at m 15 1 Dining.Types.Thinking;
+  at m 110 1 Dining.Types.Eating;
+  Sim.Engine.run_all m.engine;
+  let series = Monitor.Fairness.windowed_max fair ~window:100 ~horizon:200 in
+  check bool "window 0 has count 1" true (List.nth series 0 = (0.0, 1.0));
+  check bool "window 1 has count 2" true (List.nth series 1 = (100.0, 2.0))
+
+let fairness_ignores_crashed_victims () =
+  let m = mock ~n:2 ~edges:[ (0, 1) ] () in
+  let fair = Monitor.Fairness.attach m.engine m.graph m.faults m.inst in
+  at m 5 0 Dining.Types.Hungry;
+  Net.Faults.schedule_crash m.faults ~pid:0 ~at:8;
+  at m 10 1 Dining.Types.Eating;
+  Sim.Engine.run_all m.engine;
+  check int "no overtakes of crashed victims" 0 (Monitor.Fairness.max_consecutive fair)
+
+(* ----------------------------- Response ---------------------------- *)
+
+let response_latency () =
+  let m = mock ~n:2 ~edges:[ (0, 1) ] () in
+  let resp = Monitor.Response.attach m.engine m.faults m.inst in
+  at m 10 0 Dining.Types.Hungry;
+  at m 35 0 Dining.Types.Eating;
+  at m 40 0 Dining.Types.Thinking;
+  at m 50 1 Dining.Types.Hungry;
+  (* 1 never served: open session *)
+  Sim.Engine.run_all m.engine;
+  check (Alcotest.list int) "one completed session of 25" [ 25 ] (Monitor.Response.durations resp);
+  check int "served count" 1 (Monitor.Response.served_count resp);
+  check bool "open session for 1" true (Monitor.Response.open_sessions resp = [ (1, 50) ])
+
+let response_starvation_threshold () =
+  let m = mock ~n:2 ~edges:[ (0, 1) ] () in
+  let resp = Monitor.Response.attach m.engine m.faults m.inst in
+  at m 10 0 Dining.Types.Hungry;
+  at m 10 1 Dining.Types.Hungry;
+  at m 5_000 1 Dining.Types.Eating;
+  ignore (Sim.Engine.schedule m.engine ~at:20_000 (fun () -> ()));
+  Sim.Engine.run_all m.engine;
+  check (Alcotest.list int) "0 starved at patience 10k" [ 0 ] (Monitor.Response.starved resp ~older_than:10_000);
+  check (Alcotest.list int) "nobody starved at patience 30k" []
+    (Monitor.Response.starved resp ~older_than:30_000)
+
+let response_crashed_not_starved () =
+  let m = mock ~n:2 ~edges:[ (0, 1) ] () in
+  let resp = Monitor.Response.attach m.engine m.faults m.inst in
+  at m 10 0 Dining.Types.Hungry;
+  Net.Faults.schedule_crash m.faults ~pid:0 ~at:100;
+  ignore (Sim.Engine.schedule m.engine ~at:20_000 (fun () -> ()));
+  Sim.Engine.run_all m.engine;
+  check (Alcotest.list int) "crashed hungry process is not a starvation" []
+    (Monitor.Response.starved resp ~older_than:1_000)
+
+let response_series_buckets () =
+  let m = mock ~n:2 ~edges:[ (0, 1) ] () in
+  let resp = Monitor.Response.attach m.engine m.faults m.inst in
+  at m 0 0 Dining.Types.Hungry;
+  at m 50 0 Dining.Types.Eating;
+  at m 60 0 Dining.Types.Thinking;
+  at m 100 0 Dining.Types.Hungry;
+  at m 130 0 Dining.Types.Eating;
+  Sim.Engine.run_all m.engine;
+  let series = Monitor.Response.response_series resp ~bucket:100 in
+  check bool "bucket 0 mean 50" true (List.mem (0.0, 50.0) series);
+  check bool "bucket 100 mean 30" true (List.mem (100.0, 30.0) series)
+
+(* ------------------------------ Phases ----------------------------- *)
+
+let phases_split () =
+  let m = mock ~n:2 ~edges:[ (0, 1) ] () in
+  let trace = Sim.Trace.create () in
+  let ph = Monitor.Phases.attach m.engine trace m.inst in
+  let enter pid t =
+    ignore
+      (Sim.Engine.schedule m.engine ~at:t (fun () ->
+           Sim.Trace.emit trace ~time:t ~subject:pid ~tag:"enter_doorway" ""))
+  in
+  at m 10 0 Dining.Types.Hungry;
+  enter 0 40;
+  at m 55 0 Dining.Types.Eating;
+  at m 60 0 Dining.Types.Thinking;
+  (* A second session that never completes. *)
+  at m 100 0 Dining.Types.Hungry;
+  Sim.Engine.run_all m.engine;
+  check (Alcotest.list int) "doorway wait" [ 30 ] (Monitor.Phases.doorway_waits ph);
+  check (Alcotest.list int) "fork wait" [ 15 ] (Monitor.Phases.fork_waits ph);
+  check int "open session not sampled" 1 (Monitor.Phases.doorway_summary ph).count
+
+let phases_real_algorithm () =
+  (* End to end against the real core on a pair: both splits sum to the
+     full response latency. *)
+  let graph = Cgraph.Graph.of_edges ~n:2 [ (0, 1) ] in
+  let engine = Sim.Engine.create () in
+  let faults = Net.Faults.create engine ~n:2 in
+  let trace = Sim.Trace.create () in
+  let algo =
+    Dining.Algorithm.create ~engine ~faults ~graph ~delay:(Net.Delay.Fixed 5)
+      ~rng:(Sim.Rng.create 1L) ~detector:(Fd.Never.create ()) ~trace ()
+  in
+  let inst = Dining.Algorithm.instance algo in
+  let resp = Monitor.Response.attach engine faults inst in
+  let ph = Monitor.Phases.attach engine trace inst in
+  inst.become_hungry 0;
+  Sim.Engine.run engine ~until:200;
+  match
+    (Monitor.Phases.doorway_waits ph, Monitor.Phases.fork_waits ph, Monitor.Response.durations resp)
+  with
+  | [ d ], [ f ], [ total ] ->
+      check int "splits sum to the response" total (d + f);
+      check bool "doorway took the ping round trip" true (d >= 10)
+  | _ -> Alcotest.fail "expected exactly one completed session"
+
+let suite =
+  [
+    Alcotest.test_case "exclusion: detects overlapping neighbors" `Quick exclusion_detects_overlap;
+    Alcotest.test_case "phases: splits at the doorway event" `Quick phases_split;
+    Alcotest.test_case "phases: real algorithm splits sum" `Quick phases_real_algorithm;
+    Alcotest.test_case "exclusion: non-neighbors and crashed ignored" `Quick
+      exclusion_ignores_non_neighbors_and_crashed;
+    Alcotest.test_case "fairness: consecutive counting and reset" `Quick fairness_counts_consecutive;
+    Alcotest.test_case "fairness: windowed maxima" `Quick fairness_windowed_series;
+    Alcotest.test_case "fairness: crashed victims ignored" `Quick fairness_ignores_crashed_victims;
+    Alcotest.test_case "response: latency and open sessions" `Quick response_latency;
+    Alcotest.test_case "response: starvation threshold" `Quick response_starvation_threshold;
+    Alcotest.test_case "response: crashed processes not starved" `Quick response_crashed_not_starved;
+    Alcotest.test_case "response: bucketed series" `Quick response_series_buckets;
+  ]

@@ -1,0 +1,212 @@
+(* Tests for the network substrate: Faults, Delay, Link_stats, Network. *)
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+let ring4 () = Cgraph.Topology.build (Cgraph.Topology.Ring 4)
+
+let make_net ?(delay = Net.Delay.Uniform (1, 10)) ?(seed = 1L) ?on_drop ~handler () =
+  let engine = Sim.Engine.create () in
+  let graph = ring4 () in
+  let faults = Net.Faults.create engine ~n:4 in
+  let rng = Sim.Rng.create seed in
+  let net = Net.Network.create ~engine ~graph ~delay ~faults ~rng ?on_drop ~handler () in
+  (engine, faults, net)
+
+(* ------------------------------ Faults ----------------------------- *)
+
+let faults_basics () =
+  let engine = Sim.Engine.create () in
+  let faults = Net.Faults.create engine ~n:3 in
+  check bool "initially live" false (Net.Faults.is_crashed faults 0);
+  check bool "initially correct" true (Net.Faults.correct faults 0);
+  Net.Faults.schedule_crash faults ~pid:1 ~at:50;
+  check bool "not crashed yet" false (Net.Faults.is_crashed faults 1);
+  check bool "already not correct" false (Net.Faults.correct faults 1);
+  ignore (Sim.Engine.schedule engine ~at:100 (fun () -> ()));
+  Sim.Engine.run_all engine;
+  check bool "crashed after time" true (Net.Faults.is_crashed faults 1);
+  check (Alcotest.list int) "crashed_by" [ 1 ] (Net.Faults.crashed_by faults 60)
+
+let faults_earliest_wins () =
+  let engine = Sim.Engine.create () in
+  let faults = Net.Faults.create engine ~n:2 in
+  Net.Faults.schedule_crash faults ~pid:0 ~at:100;
+  Net.Faults.schedule_crash faults ~pid:0 ~at:50;
+  Net.Faults.schedule_crash faults ~pid:0 ~at:200;
+  check int "earliest wins" 50 (Net.Faults.crash_time faults 0)
+
+let faults_notifies () =
+  let engine = Sim.Engine.create () in
+  let faults = Net.Faults.create engine ~n:3 in
+  let crashes = ref [] in
+  Net.Faults.on_crash faults (fun pid -> crashes := (pid, Sim.Engine.now engine) :: !crashes);
+  Net.Faults.schedule_crash faults ~pid:2 ~at:30;
+  Net.Faults.schedule_crash faults ~pid:0 ~at:10;
+  Sim.Engine.run_all engine;
+  check bool "both notified in order" true (List.rev !crashes = [ (0, 10); (2, 30) ])
+
+(* ------------------------------ Delay ------------------------------ *)
+
+let delay_bounds () =
+  let rng = Sim.Rng.create 3L in
+  for _ = 1 to 200 do
+    let d = Net.Delay.sample (Net.Delay.Uniform (2, 9)) rng ~now:0 in
+    check bool "uniform in range" true (d >= 2 && d <= 9)
+  done;
+  check int "fixed" 7 (Net.Delay.sample (Net.Delay.Fixed 7) rng ~now:0);
+  check int "fixed clamps to 1" 1 (Net.Delay.sample (Net.Delay.Fixed 0) rng ~now:0);
+  for _ = 1 to 200 do
+    let d = Net.Delay.sample (Net.Delay.Exponential (5.0, 20)) rng ~now:0 in
+    check bool "exponential capped" true (d >= 1 && d <= 20)
+  done
+
+let delay_partial_synchrony () =
+  let rng = Sim.Rng.create 4L in
+  let model = Net.Delay.Partial_synchrony { gst = 100; pre = (1, 50); post = (1, 5) } in
+  for _ = 1 to 100 do
+    check bool "post-GST bound" true (Net.Delay.sample model rng ~now:100 <= 5)
+  done;
+  check (Alcotest.option int) "upper bound after GST" (Some 5)
+    (Net.Delay.upper_bound_after model 100);
+  check (Alcotest.option int) "upper bound before GST" (Some 50)
+    (Net.Delay.upper_bound_after model 0)
+
+(* ----------------------------- Network ----------------------------- *)
+
+let network_delivers () =
+  let got = ref [] in
+  let engine, _, net = make_net ~handler:(fun ~dst ~src msg -> got := (dst, src, msg) :: !got) () in
+  Net.Network.send net ~src:0 ~dst:1 "hello";
+  Sim.Engine.run_all engine;
+  check bool "delivered once" true (!got = [ (1, 0, "hello") ])
+
+let network_fifo_per_channel () =
+  let got = ref [] in
+  let engine, _, net = make_net ~handler:(fun ~dst:_ ~src:_ msg -> got := msg :: !got) () in
+  for i = 1 to 50 do
+    Net.Network.send net ~src:0 ~dst:1 i
+  done;
+  Sim.Engine.run_all engine;
+  check (Alcotest.list int) "FIFO order" (List.init 50 (fun i -> i + 1)) (List.rev !got)
+
+let network_fifo_property =
+  QCheck.Test.make ~name:"network: per-channel FIFO under random delays" ~count:100
+    QCheck.(pair (int_bound 100_000) (int_range 1 60))
+    (fun (seed, count) ->
+      let got = ref [] in
+      let engine, _, net =
+        make_net
+          ~delay:(Net.Delay.Uniform (1, 50))
+          ~seed:(Int64.of_int seed)
+          ~handler:(fun ~dst:_ ~src msg -> got := (src, msg) :: !got)
+          ()
+      in
+      (* Interleave sends on two channels into the same destination. *)
+      for i = 1 to count do
+        Net.Network.send net ~src:0 ~dst:1 i;
+        Net.Network.send net ~src:2 ~dst:1 i
+      done;
+      Sim.Engine.run_all engine;
+      let per_src s = List.rev (List.filter_map (fun (src, m) -> if src = s then Some m else None) !got) in
+      per_src 0 = List.init count (fun i -> i + 1) && per_src 2 = List.init count (fun i -> i + 1))
+
+let network_rejects_non_neighbors () =
+  let _, _, net = make_net ~handler:(fun ~dst:_ ~src:_ _ -> ()) () in
+  Alcotest.check_raises "non-edge rejected"
+    (Invalid_argument "Network.send: 0 and 2 are not neighbors") (fun () ->
+      Net.Network.send net ~src:0 ~dst:2 ())
+
+let network_drops_to_crashed () =
+  let delivered = ref 0 and dropped = ref [] in
+  let engine, faults, net =
+    make_net
+      ~delay:(Net.Delay.Fixed 10)
+      ~on_drop:(fun ~src:_ ~dst msg -> dropped := (dst, msg) :: !dropped)
+      ~handler:(fun ~dst:_ ~src:_ _ -> incr delivered)
+      ()
+  in
+  Net.Faults.schedule_crash faults ~pid:1 ~at:5;
+  ignore
+    (Sim.Engine.schedule engine ~at:0 (fun () -> Net.Network.send net ~src:0 ~dst:1 "doomed"));
+  Sim.Engine.run_all engine;
+  check int "nothing delivered" 0 !delivered;
+  check bool "drop hook called" true (!dropped = [ (1, "doomed") ]);
+  let stats = Net.Network.stats net in
+  check int "recorded as sent" 1 (Net.Link_stats.sent stats ~src:0 ~dst:1);
+  check int "not recorded as delivered" 0 (Net.Link_stats.delivered stats ~src:0 ~dst:1);
+  check int "no longer in flight" 0 (Net.Link_stats.in_flight stats ~src:0 ~dst:1)
+
+let network_crashed_source_sends_nothing () =
+  let delivered = ref 0 in
+  let engine, faults, net = make_net ~handler:(fun ~dst:_ ~src:_ _ -> incr delivered) () in
+  Net.Faults.schedule_crash faults ~pid:0 ~at:5;
+  ignore
+    (Sim.Engine.schedule engine ~at:10 (fun () -> Net.Network.send net ~src:0 ~dst:1 "ghost"));
+  Sim.Engine.run_all engine;
+  check int "silent after crash" 0 !delivered;
+  check int "not even counted" 0 (Net.Link_stats.sent (Net.Network.stats net) ~src:0 ~dst:1)
+
+let network_in_flight_messages_survive_sender_crash () =
+  let delivered = ref 0 in
+  let engine, faults, net =
+    make_net ~delay:(Net.Delay.Fixed 20) ~handler:(fun ~dst:_ ~src:_ _ -> incr delivered) ()
+  in
+  ignore (Sim.Engine.schedule engine ~at:0 (fun () -> Net.Network.send net ~src:0 ~dst:1 "x"));
+  Net.Faults.schedule_crash faults ~pid:0 ~at:5;
+  Sim.Engine.run_all engine;
+  check int "message sent before crash still arrives" 1 !delivered
+
+(* ---------------------------- Link_stats --------------------------- *)
+
+let link_stats_watermarks () =
+  let stats = Net.Link_stats.create ~n:3 in
+  Net.Link_stats.record_send stats ~src:0 ~dst:1 ~kind:"a" ~at:1;
+  Net.Link_stats.record_send stats ~src:1 ~dst:0 ~kind:"b" ~at:2;
+  Net.Link_stats.record_send stats ~src:0 ~dst:1 ~kind:"a" ~at:3;
+  check int "edge in flight counts both directions" 3 (Net.Link_stats.edge_in_flight stats 0 1);
+  Net.Link_stats.record_delivery stats ~src:0 ~dst:1 ~kind:"a" ~at:4;
+  check int "delivery decrements" 2 (Net.Link_stats.edge_in_flight stats 0 1);
+  check int "watermark keeps max" 3 (Net.Link_stats.edge_watermark stats 0 1);
+  check int "global watermark" 3 (Net.Link_stats.max_edge_watermark stats);
+  let by_kind = Net.Link_stats.max_edge_watermark_by_kind stats in
+  check (Alcotest.list (Alcotest.pair Alcotest.string int)) "per kind" [ ("a", 2); ("b", 1) ] by_kind
+
+let link_stats_watched_windows () =
+  let stats = Net.Link_stats.create ~n:2 in
+  Net.Link_stats.watch_dst stats 1;
+  List.iter (fun at -> Net.Link_stats.record_send stats ~src:0 ~dst:1 ~kind:"m" ~at) [ 5; 15; 25; 35 ];
+  check int "window [10,30)" 2 (Net.Link_stats.sends_to_in_window stats ~dst:1 ~from_t:10 ~to_t:30);
+  check int "after 20" 2 (Net.Link_stats.sends_to_after stats ~dst:1 ~after:20);
+  check int "total to dst" 4 (Net.Link_stats.total_sends_to stats ~dst:1);
+  Alcotest.check_raises "unwatched raises" (Invalid_argument "Link_stats: dst 0 is not watched")
+    (fun () -> ignore (Net.Link_stats.sends_to_after stats ~dst:0 ~after:0))
+
+let link_stats_last_send () =
+  let stats = Net.Link_stats.create ~n:3 in
+  check bool "none initially" true (Net.Link_stats.last_send_to stats 1 = None);
+  Net.Link_stats.record_send stats ~src:0 ~dst:1 ~kind:"m" ~at:7;
+  Net.Link_stats.record_send stats ~src:1 ~dst:2 ~kind:"m" ~at:9;
+  check bool "last send to" true (Net.Link_stats.last_send_to stats 1 = Some 7);
+  check bool "last send involving" true (Net.Link_stats.last_send_involving stats 1 = Some 9)
+
+let suite =
+  [
+    Alcotest.test_case "faults: schedule and query" `Quick faults_basics;
+    Alcotest.test_case "faults: earliest crash wins" `Quick faults_earliest_wins;
+    Alcotest.test_case "faults: crash notifications" `Quick faults_notifies;
+    Alcotest.test_case "delay: bounds per model" `Quick delay_bounds;
+    Alcotest.test_case "delay: partial synchrony" `Quick delay_partial_synchrony;
+    Alcotest.test_case "network: delivers" `Quick network_delivers;
+    Alcotest.test_case "network: FIFO per channel" `Quick network_fifo_per_channel;
+    QCheck_alcotest.to_alcotest network_fifo_property;
+    Alcotest.test_case "network: rejects non-neighbors" `Quick network_rejects_non_neighbors;
+    Alcotest.test_case "network: absorbs sends to crashed" `Quick network_drops_to_crashed;
+    Alcotest.test_case "network: crashed source is silent" `Quick network_crashed_source_sends_nothing;
+    Alcotest.test_case "network: in-flight survives sender crash" `Quick
+      network_in_flight_messages_survive_sender_crash;
+    Alcotest.test_case "link_stats: watermarks" `Quick link_stats_watermarks;
+    Alcotest.test_case "link_stats: watched windows" `Quick link_stats_watched_windows;
+    Alcotest.test_case "link_stats: last send" `Quick link_stats_last_send;
+  ]

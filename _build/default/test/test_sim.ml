@@ -1,0 +1,277 @@
+(* Tests for the simulation substrate: Time, Rng, Pqueue, Engine, Trace. *)
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+(* ------------------------------- Time ------------------------------ *)
+
+let time_add_saturates () =
+  check int "inf + 1 = inf" Sim.Time.infinity (Sim.Time.add Sim.Time.infinity 1);
+  check int "1 + inf = inf" Sim.Time.infinity (Sim.Time.add 1 Sim.Time.infinity);
+  check int "near-overflow saturates" Sim.Time.infinity (Sim.Time.add (max_int - 1) (max_int - 1));
+  check int "ordinary addition" 7 (Sim.Time.add 3 4)
+
+let time_predicates () =
+  check bool "zero finite" true (Sim.Time.is_finite Sim.Time.zero);
+  check bool "infinity not finite" false (Sim.Time.is_finite Sim.Time.infinity);
+  check Alcotest.string "pp finite" "42" (Sim.Time.to_string 42);
+  check Alcotest.string "pp infinite" "inf" (Sim.Time.to_string Sim.Time.infinity)
+
+(* ------------------------------- Rng ------------------------------- *)
+
+let rng_deterministic () =
+  let a = Sim.Rng.create 99L and b = Sim.Rng.create 99L in
+  for _ = 1 to 100 do
+    check int "same seed same stream" (Sim.Rng.int a 1_000_000) (Sim.Rng.int b 1_000_000)
+  done
+
+let rng_seed_sensitivity () =
+  let a = Sim.Rng.create 1L and b = Sim.Rng.create 2L in
+  let differs = ref false in
+  for _ = 1 to 20 do
+    if Sim.Rng.int a 1_000_000 <> Sim.Rng.int b 1_000_000 then differs := true
+  done;
+  check bool "different seeds diverge" true !differs
+
+let rng_split_named_stable () =
+  let a = Sim.Rng.create 7L and b = Sim.Rng.create 7L in
+  let sa = Sim.Rng.split_named a "workload" and sb = Sim.Rng.split_named b "workload" in
+  check int "named split deterministic" (Sim.Rng.int sa 1000) (Sim.Rng.int sb 1000);
+  (* split_named must not consume parent randomness *)
+  check int "parent untouched" (Sim.Rng.int a 1000) (Sim.Rng.int b 1000)
+
+let rng_split_named_distinct () =
+  let rng = Sim.Rng.create 7L in
+  let s1 = Sim.Rng.split_named rng "one" and s2 = Sim.Rng.split_named rng "two" in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Sim.Rng.int s1 1_000_000 <> Sim.Rng.int s2 1_000_000 then differs := true
+  done;
+  check bool "distinct labels diverge" true !differs
+
+let rng_ranges =
+  QCheck.Test.make ~name:"rng: int_in stays in range" ~count:500
+    QCheck.(triple small_int small_int (int_bound 1000))
+    (fun (a, b, seed) ->
+      let lo = min a b and hi = max a b in
+      let rng = Sim.Rng.create (Int64.of_int seed) in
+      let x = Sim.Rng.int_in rng lo hi in
+      x >= lo && x <= hi)
+
+let rng_float_range =
+  QCheck.Test.make ~name:"rng: float in [0,1)" ~count:500 QCheck.(int_bound 100000)
+    (fun seed ->
+      let rng = Sim.Rng.create (Int64.of_int seed) in
+      let f = Sim.Rng.float rng in
+      f >= 0.0 && f < 1.0)
+
+let rng_shuffle_permutes () =
+  let rng = Sim.Rng.create 5L in
+  let a = Array.init 100 Fun.id in
+  Sim.Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  check bool "shuffle is a permutation" true (sorted = Array.init 100 Fun.id);
+  check bool "shuffle moved something" true (a <> Array.init 100 Fun.id)
+
+let rng_split_independent () =
+  let parent = Sim.Rng.create 9L in
+  let child = Sim.Rng.split parent in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Sim.Rng.int parent 1_000_000 <> Sim.Rng.int child 1_000_000 then differs := true
+  done;
+  check bool "split stream diverges from parent" true !differs
+
+let rng_pick_uniformish () =
+  let rng = Sim.Rng.create 13L in
+  let values = [| 10; 20; 30 |] in
+  let seen = Hashtbl.create 3 in
+  for _ = 1 to 200 do
+    Hashtbl.replace seen (Sim.Rng.pick rng values) ()
+  done;
+  check int "all elements eventually picked" 3 (Hashtbl.length seen)
+
+let rng_exponential_positive () =
+  let rng = Sim.Rng.create 11L in
+  for _ = 1 to 100 do
+    check bool "exponential >= 0" true (Sim.Rng.exponential rng ~mean:10.0 >= 0.0)
+  done
+
+(* ------------------------------ Pqueue ----------------------------- *)
+
+let pqueue_orders () =
+  let q = Sim.Pqueue.create () in
+  List.iter (fun p -> Sim.Pqueue.add q ~prio:p p) [ 5; 1; 4; 1; 3 ];
+  let order = List.init 5 (fun _ -> fst (Option.get (Sim.Pqueue.pop q))) in
+  check (Alcotest.list int) "min-heap order" [ 1; 1; 3; 4; 5 ] order;
+  check bool "now empty" true (Sim.Pqueue.is_empty q)
+
+let pqueue_fifo_ties () =
+  let q = Sim.Pqueue.create () in
+  List.iteri (fun i label -> Sim.Pqueue.add q ~prio:7 (i, label)) [ "a"; "b"; "c"; "d" ];
+  let labels = List.init 4 (fun _ -> snd (snd (Option.get (Sim.Pqueue.pop q)))) in
+  check (Alcotest.list Alcotest.string) "FIFO among equal priorities" [ "a"; "b"; "c"; "d" ] labels
+
+let pqueue_interleaved () =
+  let q = Sim.Pqueue.create () in
+  Sim.Pqueue.add q ~prio:10 10;
+  Sim.Pqueue.add q ~prio:1 1;
+  check (Alcotest.option int) "peek min" (Some 1) (Sim.Pqueue.peek_prio q);
+  ignore (Sim.Pqueue.pop q);
+  Sim.Pqueue.add q ~prio:5 5;
+  check int "size" 2 (Sim.Pqueue.size q);
+  check (Alcotest.option int) "next is 5" (Some 5) (Sim.Pqueue.peek_prio q)
+
+let pqueue_empty_pop () =
+  let q = Sim.Pqueue.create () in
+  check bool "pop empty" true (Sim.Pqueue.pop q = None);
+  check bool "peek empty" true (Sim.Pqueue.peek_prio q = None)
+
+let pqueue_sorts =
+  QCheck.Test.make ~name:"pqueue: drains any multiset in sorted order" ~count:200
+    QCheck.(list small_nat)
+    (fun prios ->
+      let q = Sim.Pqueue.create () in
+      List.iter (fun p -> Sim.Pqueue.add q ~prio:p p) prios;
+      let rec drain acc =
+        match Sim.Pqueue.pop q with None -> List.rev acc | Some (p, _) -> drain (p :: acc)
+      in
+      drain [] = List.sort compare prios)
+
+let pqueue_clear () =
+  let q = Sim.Pqueue.create () in
+  for i = 1 to 50 do
+    Sim.Pqueue.add q ~prio:i i
+  done;
+  Sim.Pqueue.clear q;
+  check int "cleared" 0 (Sim.Pqueue.size q);
+  Sim.Pqueue.add q ~prio:1 1;
+  check int "usable after clear" 1 (Sim.Pqueue.size q)
+
+(* ------------------------------ Engine ----------------------------- *)
+
+let engine_fires_in_order () =
+  let engine = Sim.Engine.create () in
+  let log = ref [] in
+  let note tag () = log := tag :: !log in
+  ignore (Sim.Engine.schedule engine ~at:30 (note "c"));
+  ignore (Sim.Engine.schedule engine ~at:10 (note "a"));
+  ignore (Sim.Engine.schedule engine ~at:20 (note "b"));
+  Sim.Engine.run_all engine;
+  check (Alcotest.list Alcotest.string) "time order" [ "a"; "b"; "c" ] (List.rev !log);
+  check int "clock at last event" 30 (Sim.Engine.now engine)
+
+let engine_same_time_fifo () =
+  let engine = Sim.Engine.create () in
+  let log = ref [] in
+  for i = 0 to 9 do
+    ignore (Sim.Engine.schedule engine ~at:5 (fun () -> log := i :: !log))
+  done;
+  Sim.Engine.run_all engine;
+  check (Alcotest.list int) "scheduling order preserved" (List.init 10 Fun.id) (List.rev !log)
+
+let engine_until_bound () =
+  let engine = Sim.Engine.create () in
+  let fired = ref [] in
+  List.iter
+    (fun t -> ignore (Sim.Engine.schedule engine ~at:t (fun () -> fired := t :: !fired)))
+    [ 5; 10; 15 ];
+  Sim.Engine.run engine ~until:10;
+  check (Alcotest.list int) "only <= until" [ 5; 10 ] (List.rev !fired);
+  check int "one pending left" 1 (Sim.Engine.pending engine)
+
+let engine_cancel () =
+  let engine = Sim.Engine.create () in
+  let fired = ref 0 in
+  let id = Sim.Engine.schedule engine ~at:5 (fun () -> incr fired) in
+  ignore (Sim.Engine.schedule engine ~at:6 (fun () -> incr fired));
+  Sim.Engine.cancel engine id;
+  Sim.Engine.run_all engine;
+  check int "cancelled did not fire" 1 !fired;
+  check int "processed excludes cancelled" 1 (Sim.Engine.processed engine)
+
+let engine_rejects_past () =
+  let engine = Sim.Engine.create () in
+  ignore (Sim.Engine.schedule engine ~at:10 (fun () -> ()));
+  Sim.Engine.run_all engine;
+  Alcotest.check_raises "past scheduling rejected"
+    (Invalid_argument "Engine.schedule: at=5 is in the past (now=10)") (fun () ->
+      ignore (Sim.Engine.schedule engine ~at:5 (fun () -> ())))
+
+let engine_nested_scheduling () =
+  let engine = Sim.Engine.create () in
+  let hits = ref 0 in
+  let rec chain n () =
+    incr hits;
+    if n > 0 then ignore (Sim.Engine.schedule_after engine ~delay:2 (chain (n - 1)))
+  in
+  ignore (Sim.Engine.schedule engine ~at:0 (chain 9));
+  Sim.Engine.run_all engine;
+  check int "chain length" 10 !hits;
+  check int "clock advanced" 18 (Sim.Engine.now engine)
+
+let engine_infinity_noop () =
+  let engine = Sim.Engine.create () in
+  ignore (Sim.Engine.schedule engine ~at:Sim.Time.infinity (fun () -> Alcotest.fail "fired"));
+  Sim.Engine.run_all engine;
+  check int "nothing pending" 0 (Sim.Engine.pending engine)
+
+(* ------------------------------ Trace ------------------------------ *)
+
+let trace_disabled_by_default () =
+  let t = Sim.Trace.create () in
+  check bool "disabled" false (Sim.Trace.enabled t);
+  Sim.Trace.emit t ~time:1 ~subject:0 ~tag:"x" "dropped";
+  check int "no records" 0 (List.length (Sim.Trace.records t))
+
+let trace_collects () =
+  let t = Sim.Trace.collecting () in
+  Sim.Trace.emit t ~time:1 ~subject:0 ~tag:"a" "first";
+  Sim.Trace.emitf t ~time:2 ~subject:1 ~tag:"b" "n=%d" 42;
+  match Sim.Trace.records t with
+  | [ r1; r2 ] ->
+      check Alcotest.string "tag order" "a" r1.Sim.Trace.tag;
+      check Alcotest.string "formatted detail" "n=42" r2.Sim.Trace.detail;
+      check int "subject" 1 r2.Sim.Trace.subject
+  | l -> Alcotest.failf "expected 2 records, got %d" (List.length l)
+
+let trace_sink () =
+  let t = Sim.Trace.create () in
+  let seen = ref [] in
+  Sim.Trace.on_record t (fun r -> seen := r.Sim.Trace.tag :: !seen);
+  Sim.Trace.emit t ~time:1 ~subject:0 ~tag:"hello" "";
+  check (Alcotest.list Alcotest.string) "sink called" [ "hello" ] !seen
+
+let suite =
+  [
+    Alcotest.test_case "time: saturating addition" `Quick time_add_saturates;
+    Alcotest.test_case "time: predicates and printing" `Quick time_predicates;
+    Alcotest.test_case "rng: determinism" `Quick rng_deterministic;
+    Alcotest.test_case "rng: seed sensitivity" `Quick rng_seed_sensitivity;
+    Alcotest.test_case "rng: split_named stable" `Quick rng_split_named_stable;
+    Alcotest.test_case "rng: split_named distinct" `Quick rng_split_named_distinct;
+    Alcotest.test_case "rng: shuffle permutes" `Quick rng_shuffle_permutes;
+    Alcotest.test_case "rng: split independence" `Quick rng_split_independent;
+    Alcotest.test_case "rng: pick covers the array" `Quick rng_pick_uniformish;
+    Alcotest.test_case "rng: exponential positive" `Quick rng_exponential_positive;
+    QCheck_alcotest.to_alcotest rng_ranges;
+    QCheck_alcotest.to_alcotest rng_float_range;
+    Alcotest.test_case "pqueue: orders by priority" `Quick pqueue_orders;
+    Alcotest.test_case "pqueue: FIFO ties" `Quick pqueue_fifo_ties;
+    Alcotest.test_case "pqueue: interleaved ops" `Quick pqueue_interleaved;
+    Alcotest.test_case "pqueue: empty pops" `Quick pqueue_empty_pop;
+    Alcotest.test_case "pqueue: clear" `Quick pqueue_clear;
+    QCheck_alcotest.to_alcotest pqueue_sorts;
+    Alcotest.test_case "engine: fires in time order" `Quick engine_fires_in_order;
+    Alcotest.test_case "engine: FIFO at equal times" `Quick engine_same_time_fifo;
+    Alcotest.test_case "engine: run ~until" `Quick engine_until_bound;
+    Alcotest.test_case "engine: cancellation" `Quick engine_cancel;
+    Alcotest.test_case "engine: rejects past events" `Quick engine_rejects_past;
+    Alcotest.test_case "engine: handlers schedule more events" `Quick engine_nested_scheduling;
+    Alcotest.test_case "engine: infinity is a no-op" `Quick engine_infinity_noop;
+    Alcotest.test_case "trace: disabled by default" `Quick trace_disabled_by_default;
+    Alcotest.test_case "trace: collects records" `Quick trace_collects;
+    Alcotest.test_case "trace: callback sink" `Quick trace_sink;
+  ]

@@ -1,0 +1,76 @@
+(* Long-horizon stress runs ("soak" tests): large random graphs, many
+   crashes, heartbeat detector, invariants checked continuously. These
+   are the closest the suite comes to the paper's "every run" claims. *)
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+let soak ~seed ~algo ~detector ~topology ?(crashes = 6) ?(horizon = 150_000) () =
+  let s : Harness.Scenario.t =
+    {
+      name = "soak";
+      topology;
+      seed;
+      algo;
+      detector;
+      delay = Net.Delay.Partial_synchrony { gst = 30_000; pre = (1, 80); post = (1, 8) };
+      workload = { think = (0, 120); eat = (5, 35) };
+      crashes = Harness.Scenario.Random_crashes { count = crashes; from_t = 2_000; to_t = 80_000 };
+      horizon;
+      check_every = Some 499;
+      acks_per_session = 1;
+    }
+  in
+  Harness.Run.run s
+
+let heartbeat = Harness.Scenario.Heartbeat { period = 20; initial_timeout = 30; bump = 25 }
+
+let soak_song_pike_heartbeat () =
+  let r = soak ~seed:5150L ~algo:Harness.Scenario.Song_pike ~detector:heartbeat
+      ~topology:(Cgraph.Topology.Random_gnp (32, 0.15, 51L)) () in
+  check bool "invariants held for 150k ticks" true (r.invariant_error = None);
+  check bool "wait-free" true (Harness.Run.starved r ~older_than:15_000 = []);
+  check int "safe after measured convergence" 0
+    (Monitor.Exclusion.count_after r.exclusion r.convergence);
+  check bool "channel bound" true (Net.Link_stats.max_edge_watermark r.link_stats <= 4);
+  check bool "substantial run" true (r.total_eats > 5_000)
+
+let soak_song_pike_torus () =
+  let r = soak ~seed:99L ~algo:Harness.Scenario.Song_pike ~detector:heartbeat
+      ~topology:(Cgraph.Topology.Torus (5, 5)) () in
+  check bool "invariants" true (r.invariant_error = None);
+  check bool "wait-free" true (Harness.Run.starved r ~older_than:15_000 = []);
+  check int "safe after convergence" 0 (Monitor.Exclusion.count_after r.exclusion r.convergence)
+
+let soak_quiescence_everywhere () =
+  let r = soak ~seed:7L ~algo:Harness.Scenario.Song_pike
+      ~detector:(Harness.Scenario.Oracle
+                   { detection_delay = 60; fp_per_edge = 1; fp_window = 10_000; fp_max_len = 150 })
+      ~topology:(Cgraph.Topology.Random_gnp (24, 0.2, 13L)) () in
+  check bool "invariants" true (r.invariant_error = None);
+  (* Every crashed process goes silent after a grace period. *)
+  List.iter
+    (fun (pid, at) ->
+      check int
+        (Printf.sprintf "p%d quiescent" pid)
+        0
+        (Net.Link_stats.sends_to_after r.link_stats ~dst:pid ~after:(at + 5_000)))
+    r.crashed
+
+let soak_fairness_holds_at_scale () =
+  let r = soak ~seed:12L ~algo:Harness.Scenario.Song_pike
+      ~detector:(Harness.Scenario.Oracle
+                   { detection_delay = 60; fp_per_edge = 2; fp_window = 12_000; fp_max_len = 200 })
+      ~topology:(Cgraph.Topology.Clique 8) ~crashes:2 () in
+  check bool "2-bounded after convergence at scale" true
+    (Monitor.Fairness.max_consecutive_for_sessions_from r.fairness r.convergence <= 2);
+  check bool "invariants" true (r.invariant_error = None)
+
+let suite =
+  [
+    Alcotest.test_case "soak: gnp-32 + heartbeat, 150k ticks" `Slow soak_song_pike_heartbeat;
+    Alcotest.test_case "soak: torus-5x5 + heartbeat" `Slow soak_song_pike_torus;
+    Alcotest.test_case "soak: quiescence for every victim" `Slow soak_quiescence_everywhere;
+    Alcotest.test_case "soak: fairness bound at scale" `Slow soak_fairness_holds_at_scale;
+  ]
