@@ -209,11 +209,35 @@ let run_mc () =
     "note: stuck = 0 on every row means no reachable hungry-live state has lost all\n\
      paths to eating — wait-freedom's possibility form, verified exhaustively.\n"
 
+let usage () =
+  prerr_endline
+    "usage: main.exe [ID ...] [--domains N] [--seeds N]\n\
+     IDs: e1..e12, f1..f6, mc, perf (all when omitted).\n\
+     --domains caps batch/sweep parallelism (default: recommended domain count;\n\
+     output is identical for any value); --seeds sets seeds per batch row.";
+  exit 2
+
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
-  let wants x = args = [] || List.mem x args in
+  let default = Harness.Experiments.default_ctx () in
+  let rec parse args (ctx : Harness.Experiments.ctx) ids =
+    match args with
+    | [] -> (ctx, List.rev ids)
+    | "--domains" :: v :: rest -> (
+        match int_of_string_opt v with
+        | Some d when d >= 1 -> parse rest { ctx with domains = d } ids
+        | _ -> usage ())
+    | "--seeds" :: v :: rest -> (
+        match int_of_string_opt v with
+        | Some s when s >= 1 -> parse rest { ctx with seeds = s } ids
+        | _ -> usage ())
+    | ("--domains" | "--seeds" | "--help" | "-h") :: _ -> usage ()
+    | id :: rest -> parse rest ctx (id :: ids)
+  in
+  let ctx, ids = parse (List.tl (Array.to_list Sys.argv)) default [] in
+  let wants x = ids = [] || List.mem x ids in
   List.iter
-    (fun (e : Harness.Experiments.t) -> if wants e.id then Harness.Experiments.run_and_print e)
+    (fun (e : Harness.Experiments.t) ->
+      if wants e.id then Harness.Experiments.run_and_print ~ctx e)
     Harness.Experiments.all;
   if wants "mc" then run_mc ();
   if wants "perf" then run_perf ()

@@ -77,6 +77,30 @@ let dot_arg =
           "Write the conflict graph as Graphviz dot to $(docv), with priorities as \
            labels and crashed processes filled red.")
 
+let positive_int what =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> Ok n
+    | _ -> Error (`Msg (Printf.sprintf "%s must be a positive integer, got %S" what s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+let domains_arg =
+  Arg.(
+    value
+    & opt (positive_int "--domains") (Exec.Pool.default_domains ())
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "Worker domains for multi-seed batches and sweeps (default: the recommended \
+           domain count of this machine; 1 forces the sequential fallback). Results are \
+           bit-identical for any value — only wall-clock time changes.")
+
+let seeds_arg =
+  Arg.(
+    value
+    & opt (positive_int "--seeds") 10
+    & info [ "seeds" ] ~docv:"N" ~doc:"Independent seeds per multi-seed batch.")
+
 let resolve_detector = function
   | `Oracle ->
       Harness.Scenario.Oracle
@@ -204,7 +228,8 @@ let experiments_cmd =
     close_out oc;
     Printf.printf "wrote %s\n" path
   in
-  let go ids csv_dir =
+  let go ids csv_dir domains seeds =
+    let ctx = { Harness.Experiments.domains; seeds } in
     let selected =
       if ids = [] then Harness.Experiments.all
       else
@@ -226,7 +251,7 @@ let experiments_cmd =
       (fun (e : Harness.Experiments.t) ->
         Printf.printf "### %s — %s (reproduces: %s)\n\n" (String.uppercase_ascii e.id) e.title
           e.claim;
-        let artifacts = e.run () in
+        let artifacts = e.run ctx in
         List.iter Harness.Experiments.print_artifact artifacts;
         match csv_dir with
         | None -> ()
@@ -243,7 +268,55 @@ let experiments_cmd =
   in
   Cmd.v
     (Cmd.info "experiments" ~doc:"Regenerate the paper-claim tables and figures.")
-    Term.(const go $ ids_arg $ csv_arg)
+    Term.(const go $ ids_arg $ csv_arg $ domains_arg $ seeds_arg)
+
+(* ------------------------------------------------------------------ *)
+(* batch                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let batch_cmd =
+  let patience_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "patience" ] ~docv:"TICKS"
+          ~doc:
+            "Starvation patience: a process counts as starved when its open hungry \
+             session is older than $(docv) at the horizon (default: horizon / 4).")
+  in
+  (* No --seed: the batch substitutes seeds 1..N by construction. *)
+  let go topology horizon crashes detector algo contended seeds domains patience =
+    let scenario =
+      {
+        Harness.Scenario.default with
+        name = "batch";
+        topology;
+        horizon;
+        algo;
+        detector = resolve_detector detector;
+        workload =
+          (if contended then Harness.Scenario.contended_workload
+           else Harness.Scenario.default_workload);
+        crashes =
+          (if crashes = 0 then Harness.Scenario.No_crashes
+           else
+             Harness.Scenario.Random_crashes
+               { count = crashes; from_t = horizon / 10; to_t = horizon / 2 });
+      }
+    in
+    let a = Harness.Batch.run ~seeds ~domains ?patience scenario in
+    Printf.printf "scenario : %s on %s, seeds 1..%d, horizon %d, %d domain(s)\n" scenario.name
+      (Cgraph.Topology.name topology) seeds horizon domains;
+    Format.printf "aggregate: %a@." Harness.Batch.pp a
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+         "Run one scenario across independent seeds in parallel domains and print the \
+          aggregate (bit-identical for any --domains).")
+    Term.(
+      const go $ topology_arg $ horizon_arg $ crashes_arg $ detector_arg $ algo_arg
+      $ contended_arg $ seeds_arg $ domains_arg $ patience_arg)
 
 (* ------------------------------------------------------------------ *)
 (* mcheck                                                               *)
@@ -371,6 +444,6 @@ let main =
          "Wait-free, eventually 2-bounded dining daemons with an eventually perfect \
           failure detector (Song & Pike, DSN 2007) — simulator, baselines, experiments \
           and model checker.")
-    [ run_cmd; experiments_cmd; mcheck_cmd; stabilize_cmd ]
+    [ run_cmd; batch_cmd; experiments_cmd; mcheck_cmd; stabilize_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,127 @@
+type batch = {
+  body : int -> unit;
+  n : int;
+  next : int Atomic.t; (* next unclaimed task index *)
+  completed : int Atomic.t; (* tasks finished (body returned or raised) *)
+}
+
+type t = {
+  size : int;
+  mutex : Mutex.t;
+  posted : Condition.t; (* workers: a new batch or shutdown *)
+  finished : Condition.t; (* submitter: a batch fully drained *)
+  mutable current : batch option;
+  mutable generation : int; (* bumped per submitted batch *)
+  mutable shutting_down : bool;
+  mutable workers : unit Domain.t array;
+}
+
+let default_domains () = max 1 (Domain.recommended_domain_count ())
+
+(* Claim unowned indices until the batch is exhausted. The task body never
+   raises (exceptions are captured at the [init] layer), so every claimed
+   index is eventually counted as completed. *)
+let drain t batch ~signal_finish =
+  let rec loop () =
+    let i = Atomic.fetch_and_add batch.next 1 in
+    if i < batch.n then begin
+      batch.body i;
+      let done_now = 1 + Atomic.fetch_and_add batch.completed 1 in
+      if done_now = batch.n && signal_finish then begin
+        Mutex.lock t.mutex;
+        Condition.broadcast t.finished;
+        Mutex.unlock t.mutex
+      end;
+      loop ()
+    end
+  in
+  loop ()
+
+let worker t =
+  let rec wait_for_work seen_gen =
+    Mutex.lock t.mutex;
+    while (not t.shutting_down) && t.generation = seen_gen do
+      Condition.wait t.posted t.mutex
+    done;
+    if t.shutting_down then Mutex.unlock t.mutex
+    else begin
+      let gen = t.generation and batch = t.current in
+      Mutex.unlock t.mutex;
+      (match batch with Some b -> drain t b ~signal_finish:true | None -> ());
+      wait_for_work gen
+    end
+  in
+  wait_for_work 0
+
+let create ?domains () =
+  let size = max 1 (match domains with None -> default_domains () | Some d -> d) in
+  let t =
+    {
+      size;
+      mutex = Mutex.create ();
+      posted = Condition.create ();
+      finished = Condition.create ();
+      current = None;
+      generation = 0;
+      shutting_down = false;
+      workers = [||];
+    }
+  in
+  t.workers <- Array.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let size t = t.size
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.shutting_down <- true;
+  Condition.broadcast t.posted;
+  Mutex.unlock t.mutex;
+  Array.iter Domain.join t.workers;
+  t.workers <- [||]
+
+let with_pool ?domains f =
+  let t = create ?domains () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let run_batch t n body =
+  if n > 0 then begin
+    if t.size <= 1 then
+      for i = 0 to n - 1 do
+        body i
+      done
+    else begin
+      let batch = { body; n; next = Atomic.make 0; completed = Atomic.make 0 } in
+      Mutex.lock t.mutex;
+      t.current <- Some batch;
+      t.generation <- t.generation + 1;
+      Condition.broadcast t.posted;
+      Mutex.unlock t.mutex;
+      (* The submitter works too; it may or may not finish the last task. *)
+      drain t batch ~signal_finish:false;
+      Mutex.lock t.mutex;
+      while Atomic.get batch.completed < n do
+        Condition.wait t.finished t.mutex
+      done;
+      t.current <- None;
+      Mutex.unlock t.mutex
+    end
+  end
+
+let init t n f =
+  if n < 0 then invalid_arg "Pool.init: negative size";
+  if n = 0 then [||]
+  else begin
+    let results = Array.make n None in
+    run_batch t n (fun i ->
+        let r = try Ok (f i) with e -> Error e in
+        results.(i) <- Some r);
+    (* In index order, so a failure re-raises the lowest-index exception
+       regardless of which domain ran it. *)
+    Array.map
+      (function Some (Ok v) -> v | Some (Error e) -> raise e | None -> assert false)
+      results
+  end
+
+let map_array t f a = init t (Array.length a) (fun i -> f a.(i))
+let map_list t f l = Array.to_list (map_array t f (Array.of_list l))

@@ -11,12 +11,21 @@ type aggregate = {
   invariant_errors : string list;
 }
 
-let run ?(seeds = 10) (scenario : Scenario.t) =
+let run ?(seeds = 10) ?domains ?patience (scenario : Scenario.t) =
   if seeds <= 0 then invalid_arg "Batch.run: seeds must be positive";
+  (* Each seed is an independent World; the pool spreads them across
+     domains. Reports come back indexed by seed, so every aggregate below
+     folds the same list in the same order no matter how many domains
+     ran — parallel output is bit-identical to sequential output. *)
   let reports =
-    List.init seeds (fun k -> Run.run { scenario with seed = Int64.of_int (k + 1) })
+    Exec.Pool.with_pool ?domains (fun pool ->
+        Exec.Pool.init pool seeds (fun k ->
+            Run.run { scenario with seed = Int64.of_int (k + 1) }))
+    |> Array.to_list
   in
-  let patience = scenario.horizon / 4 in
+  let patience =
+    match patience with Some p -> p | None -> scenario.horizon / 4
+  in
   let per f = List.map f reports in
   {
     runs = seeds;

@@ -1,6 +1,11 @@
 (** Multi-seed batches: run the same scenario across independent seeds
     and aggregate — the paper's "for every run" claims are checked over a
-    sample of runs rather than one lucky schedule. *)
+    sample of runs rather than one lucky schedule.
+
+    Seeds run as independent {!World}s fanned out over an {!Exec.Pool},
+    and every aggregate is folded over the reports in seed order, so the
+    result is bit-identical for any [?domains] — parallelism buys wall
+    clock only, never a different answer. *)
 
 type aggregate = {
   runs : int;
@@ -15,9 +20,18 @@ type aggregate = {
   invariant_errors : string list;         (** should be empty *)
 }
 
-val run : ?seeds:int -> Scenario.t -> aggregate
-(** [run ~seeds scenario] executes the scenario under seeds
-    [1 .. seeds] (default 10), replacing the scenario's own seed, and
-    aggregates. Starvation patience is 1/4 of the horizon. *)
+val run : ?seeds:int -> ?domains:int -> ?patience:Sim.Time.t -> Scenario.t -> aggregate
+(** [run ~seeds ~domains ~patience scenario] executes the scenario under
+    seeds [1 .. seeds] (default 10), replacing the scenario's own seed,
+    and aggregates.
+
+    [domains] caps the parallelism (default
+    [Domain.recommended_domain_count ()]; [1] forces the sequential
+    fallback). The aggregate does not depend on it.
+
+    [patience] is the starvation threshold: a process counts as starved
+    if its hungry session is still open at the horizon and older than
+    [patience] ticks (default: 1/4 of the horizon, the historical
+    behaviour). Smaller values are stricter. *)
 
 val pp : Format.formatter -> aggregate -> unit

@@ -1,6 +1,15 @@
 type artifact = Table of Stats.Table.t | Series of Stats.Series.t | Note of string
 
-type t = { id : string; title : string; claim : string; run : unit -> artifact list }
+type ctx = { domains : int; seeds : int }
+
+let default_ctx () = { domains = Exec.Pool.default_domains (); seeds = 10 }
+
+type t = { id : string; title : string; claim : string; run : ctx -> artifact list }
+
+(* Independent runs of a sweep fan out over a domain pool; rows come back
+   in case order, so tables are byte-identical for any domain count. *)
+let sweep ~domains cases row =
+  Exec.Pool.with_pool ~domains (fun pool -> Exec.Pool.map_list pool row cases)
 
 let cell_opt_time = function None -> "-" | Some t -> Stats.Table.cell_time t
 
@@ -29,7 +38,7 @@ let inv_cell (r : Run.report) = Option.value r.invariant_error ~default:"ok"
 (* E1 — Theorem 1: eventual weak exclusion.                            *)
 (* ------------------------------------------------------------------ *)
 
-let e1 () =
+let e1 (ctx : ctx) =
   let table =
     Stats.Table.create ~title:"E1: exclusion violations vs detector convergence (Theorem 1)"
       ~columns:
@@ -46,41 +55,43 @@ let e1 () =
         ]
   in
   let topologies = [ Cgraph.Topology.Ring 12; Cgraph.Topology.Clique 8; Cgraph.Topology.Random_gnp (20, 0.2, 3L) ] in
-  List.iter
-    (fun topology ->
-      List.iter
-        (fun (det_label, detector, delay) ->
-          let s =
-            {
-              base with
-              name = "e1";
-              topology;
-              detector;
-              delay;
-              workload = { think = (0, 120); eat = (10, 40) };
-              crashes = Scenario.Random_crashes { count = 2; from_t = 3_000; to_t = 12_000 };
-              horizon = 60_000;
-              seed = 11L;
-            }
-          in
-          let r = Run.run s in
-          Stats.Table.add_row table
-            [
-              Cgraph.Topology.name topology;
-              det_label;
-              Stats.Table.cell_int (List.length r.crashed);
-              Stats.Table.cell_int r.total_eats;
-              Stats.Table.cell_time r.convergence;
-              Stats.Table.cell_int (Monitor.Exclusion.count r.exclusion);
-              cell_opt_time (Monitor.Exclusion.last_violation_time r.exclusion);
-              Stats.Table.cell_int (Monitor.Exclusion.count_after r.exclusion r.convergence);
-              inv_cell r;
-            ])
-        [
-          ("oracle+fp", oracle_default, Net.Delay.Uniform (1, 8));
-          ("heartbeat", heartbeat_default, psync ~gst:15_000);
-        ])
-    topologies;
+  let detectors =
+    [
+      ("oracle+fp", oracle_default, Net.Delay.Uniform (1, 8));
+      ("heartbeat", heartbeat_default, psync ~gst:15_000);
+    ]
+  in
+  let cases =
+    List.concat_map (fun topology -> List.map (fun d -> (topology, d)) detectors) topologies
+  in
+  let row (topology, (det_label, detector, delay)) =
+    let s =
+      {
+        base with
+        name = "e1";
+        topology;
+        detector;
+        delay;
+        workload = { think = (0, 120); eat = (10, 40) };
+        crashes = Scenario.Random_crashes { count = 2; from_t = 3_000; to_t = 12_000 };
+        horizon = 60_000;
+        seed = 11L;
+      }
+    in
+    let r = Run.run s in
+    [
+      Cgraph.Topology.name topology;
+      det_label;
+      Stats.Table.cell_int (List.length r.crashed);
+      Stats.Table.cell_int r.total_eats;
+      Stats.Table.cell_time r.convergence;
+      Stats.Table.cell_int (Monitor.Exclusion.count r.exclusion);
+      cell_opt_time (Monitor.Exclusion.last_violation_time r.exclusion);
+      Stats.Table.cell_int (Monitor.Exclusion.count_after r.exclusion r.convergence);
+      inv_cell r;
+    ]
+  in
+  List.iter (Stats.Table.add_row table) (sweep ~domains:ctx.domains cases row);
   [
     Table table;
     Note
@@ -92,7 +103,7 @@ let e1 () =
 (* E2 — Theorem 2: wait-freedom under crashes.                         *)
 (* ------------------------------------------------------------------ *)
 
-let e2 () =
+let e2 (_ : ctx) =
   let table =
     Stats.Table.create ~title:"E2: wait-freedom vs crash count (Theorem 2)"
       ~columns:
@@ -160,7 +171,7 @@ let e2 () =
 (* E3 — Theorem 3: eventual 2-bounded waiting.                         *)
 (* ------------------------------------------------------------------ *)
 
-let e3 () =
+let e3 (_ : ctx) =
   let table =
     Stats.Table.create ~title:"E3: consecutive overtaking (Theorem 3, k = 2)"
       ~columns:
@@ -226,7 +237,7 @@ let e3 () =
 (* E4 — Section 7: channel capacity and message size.                  *)
 (* ------------------------------------------------------------------ *)
 
-let e4 () =
+let e4 (ctx : ctx) =
   let table =
     Stats.Table.create ~title:"E4: per-edge channel occupancy (Section 7 bound: 4)"
       ~columns:
@@ -242,39 +253,39 @@ let e4 () =
           ("msg_bits", Stats.Table.Right);
         ]
   in
-  List.iter
-    (fun topology ->
-      let s =
-        {
-          base with
-          name = "e4";
-          topology;
-          detector = oracle_default;
-          workload = Scenario.contended_workload;
-          crashes = Scenario.Random_crashes { count = 1; from_t = 2_000; to_t = 10_000 };
-          horizon = 40_000;
-          seed = 5L;
-        }
-      in
-      let r = Run.run s in
-      let kind_wm kind =
-        Option.value
-          (List.assoc_opt kind (Net.Link_stats.max_edge_watermark_by_kind r.link_stats))
-          ~default:0
-      in
-      Stats.Table.add_row table
-        [
-          Cgraph.Topology.name topology;
-          Stats.Table.cell_int (Cgraph.Graph.edge_count r.graph);
-          Stats.Table.cell_int (Net.Link_stats.total_sent r.link_stats);
-          Stats.Table.cell_int (Net.Link_stats.max_edge_watermark r.link_stats);
-          Stats.Table.cell_int (kind_wm "fork");
-          Stats.Table.cell_int (kind_wm "request");
-          Stats.Table.cell_int (kind_wm "ping");
-          Stats.Table.cell_int (kind_wm "ack");
-          (match r.max_message_bits with Some b -> Stats.Table.cell_int b | None -> "-");
-        ])
-    Cgraph.Topology.all_small;
+  let row topology =
+    let s =
+      {
+        base with
+        name = "e4";
+        topology;
+        detector = oracle_default;
+        workload = Scenario.contended_workload;
+        crashes = Scenario.Random_crashes { count = 1; from_t = 2_000; to_t = 10_000 };
+        horizon = 40_000;
+        seed = 5L;
+      }
+    in
+    let r = Run.run s in
+    let kind_wm kind =
+      Option.value
+        (List.assoc_opt kind (Net.Link_stats.max_edge_watermark_by_kind r.link_stats))
+        ~default:0
+    in
+    [
+      Cgraph.Topology.name topology;
+      Stats.Table.cell_int (Cgraph.Graph.edge_count r.graph);
+      Stats.Table.cell_int (Net.Link_stats.total_sent r.link_stats);
+      Stats.Table.cell_int (Net.Link_stats.max_edge_watermark r.link_stats);
+      Stats.Table.cell_int (kind_wm "fork");
+      Stats.Table.cell_int (kind_wm "request");
+      Stats.Table.cell_int (kind_wm "ping");
+      Stats.Table.cell_int (kind_wm "ack");
+      (match r.max_message_bits with Some b -> Stats.Table.cell_int b | None -> "-");
+    ]
+  in
+  List.iter (Stats.Table.add_row table)
+    (sweep ~domains:ctx.domains Cgraph.Topology.all_small row);
   [
     Table table;
     Note
@@ -286,7 +297,7 @@ let e4 () =
 (* E5 — Section 7: quiescence w.r.t. crashed processes.                *)
 (* ------------------------------------------------------------------ *)
 
-let e5 () =
+let e5 (_ : ctx) =
   let crash_t = 10_000 in
   let horizon = 60_000 in
   let s =
@@ -347,7 +358,7 @@ let e5 () =
 (* E6 — Section 7: bounded local memory.                               *)
 (* ------------------------------------------------------------------ *)
 
-let e6 () =
+let e6 (_ : ctx) =
   let table =
     Stats.Table.create ~title:"E6: local state footprint (Section 7: log2(delta) + 6*delta + c)"
       ~columns:
@@ -389,7 +400,7 @@ let e6 () =
 (* E7 — Sections 1-2: wait-free daemons enable stabilization.          *)
 (* ------------------------------------------------------------------ *)
 
-let e7 () =
+let e7 (_ : ctx) =
   let table =
     Stats.Table.create
       ~title:"E7: self-stabilization under the daemon (crashes + transient faults)"
@@ -465,7 +476,7 @@ let e7 () =
 (* E8 — ablation: what the doorway costs and buys.                     *)
 (* ------------------------------------------------------------------ *)
 
-let e8 () =
+let e8 (_ : ctx) =
   let table =
     Stats.Table.create ~title:"E8: daemon comparison, crash-free saturation (ablation)"
       ~columns:
@@ -535,7 +546,7 @@ let e8 () =
 (* E9 — necessity: each half of the ◇P contract is load-bearing.       *)
 (* ------------------------------------------------------------------ *)
 
-let e9 () =
+let e9 (_ : ctx) =
   let horizon = 60_000 in
   let table =
     Stats.Table.create
@@ -611,10 +622,13 @@ let e9 () =
 (* E10 — every bound, across independent seeds (batch robustness).     *)
 (* ------------------------------------------------------------------ *)
 
-let e10 () =
+let e10 (ctx : ctx) =
   let table =
     Stats.Table.create
-      ~title:"E10: all four bounds over 10 independent seeds per row (Theorems 1-3, Section 7)"
+      ~title:
+        (Printf.sprintf
+           "E10: all four bounds over %d independent seeds per row (Theorems 1-3, Section 7)"
+           ctx.seeds)
       ~columns:
         [
           ("topology", Stats.Table.Left);
@@ -655,7 +669,7 @@ let e10 () =
           check_every = Some 251;
         }
       in
-      let a = Batch.run ~seeds:10 scenario in
+      let a = Batch.run ~seeds:ctx.seeds ~domains:ctx.domains scenario in
       let ok =
         a.violations_after_conv_total = 0 && a.max_overtakes_after_conv <= 2
         && a.starved_total = 0 && a.worst_edge_watermark <= 4 && a.invariant_errors = []
@@ -677,9 +691,12 @@ let e10 () =
   [
     Table table;
     Note
-      "Every row aggregates 10 independent seeds (40 full runs in total). The paper's \
-       claims are per-run universals, so the aggregated columns must be exactly 0 / <= 2 \
-       / 0 / <= 4 — not merely on average.";
+      (Printf.sprintf
+         "Every row aggregates %d independent seeds (%d full runs in total, fanned out \
+          over %d domain(s); the aggregate is bit-identical for any domain count). The \
+          paper's claims are per-run universals, so the aggregated columns must be \
+          exactly 0 / <= 2 / 0 / <= 4 — not merely on average."
+         ctx.seeds (4 * ctx.seeds) ctx.domains);
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -724,7 +741,7 @@ let e11_run ~m ~horizon =
     Dining.Algorithm.eat_count algo 0,
     Dining.Algorithm.eat_count algo 1 )
 
-let e11 () =
+let e11 (_ : ctx) =
   let table =
     Stats.Table.create
       ~title:
@@ -768,7 +785,7 @@ let e11 () =
 (* E12 — where the waiting time goes: doorway vs fork collection.      *)
 (* ------------------------------------------------------------------ *)
 
-let e12 () =
+let e12 (_ : ctx) =
   let table =
     Stats.Table.create
       ~title:"E12: hungry-session latency split into phase 1 (doorway) and phase 2 (forks)"
@@ -834,34 +851,34 @@ let e12 () =
 (* F5 — scaling: response latency and throughput vs n.                 *)
 (* ------------------------------------------------------------------ *)
 
-let f5 () =
+let f5 (ctx : ctx) =
   let sizes = [ 8; 16; 32; 64; 128 ] in
   let series =
     Stats.Series.create ~title:"F5: p95 response vs ring size (1 crash, evp-P1)"
       ~x_label:"n (ring size)" ~y_label:"p95 response (ticks)"
   in
-  let throughput = ref [] in
-  List.iter
-    (fun n ->
-      let s =
-        {
-          base with
-          name = "f5";
-          topology = Cgraph.Topology.Ring n;
-          detector = oracle_quiet;
-          workload = { think = (10, 100); eat = (5, 25) };
-          crashes = Scenario.Crash_at [ (n / 2, 5_000) ];
-          horizon = 40_000;
-          seed = 77L;
-          check_every = None;
-        }
-      in
-      let r = Run.run s in
-      let summary = Monitor.Response.summary r.response in
-      Stats.Series.add_point series ~x:(float_of_int n) ~y:summary.p95;
-      throughput := (float_of_int n, Run.throughput r) :: !throughput)
-    sizes;
-  Stats.Series.add_series series ~name:"eats per ktick" (List.rev !throughput);
+  let point n =
+    let s =
+      {
+        base with
+        name = "f5";
+        topology = Cgraph.Topology.Ring n;
+        detector = oracle_quiet;
+        workload = { think = (10, 100); eat = (5, 25) };
+        crashes = Scenario.Crash_at [ (n / 2, 5_000) ];
+        horizon = 40_000;
+        seed = 77L;
+        check_every = None;
+      }
+    in
+    let r = Run.run s in
+    let summary = Monitor.Response.summary r.response in
+    (float_of_int n, summary.p95, Run.throughput r)
+  in
+  let points = sweep ~domains:ctx.domains sizes point in
+  List.iter (fun (x, p95, _) -> Stats.Series.add_point series ~x ~y:p95) points;
+  Stats.Series.add_series series ~name:"eats per ktick"
+    (List.map (fun (x, _, tp) -> (x, tp)) points);
   [
     Series series;
     Note
@@ -875,7 +892,7 @@ let f5 () =
 (* F1 — response time across detector convergence (GST).               *)
 (* ------------------------------------------------------------------ *)
 
-let f1 () =
+let f1 (_ : ctx) =
   let gst = 30_000 in
   let s =
     {
@@ -912,7 +929,7 @@ let f1 () =
 (* F2 — quiescence curve.                                              *)
 (* ------------------------------------------------------------------ *)
 
-let f2 () =
+let f2 (_ : ctx) =
   let crash_t = 10_000 in
   let s =
     {
@@ -955,7 +972,7 @@ let f2 () =
 (* F3 — the overtake bound engages after convergence.                  *)
 (* ------------------------------------------------------------------ *)
 
-let f3 () =
+let f3 (_ : ctx) =
   let s =
     {
       base with
@@ -991,7 +1008,7 @@ let f3 () =
 (* F4 — stabilization convergence under the daemon.                    *)
 (* ------------------------------------------------------------------ *)
 
-let f4 () =
+let f4 (_ : ctx) =
   let spec =
     {
       Run_stabilize.protocol = Run_stabilize.Coloring;
@@ -1028,7 +1045,7 @@ let f4 () =
 (* F6 — failure locality: how far from a crash starvation spreads.     *)
 (* ------------------------------------------------------------------ *)
 
-let f6 () =
+let f6 (_ : ctx) =
   let crash_pid = 16 and crash_t = 5_000 in
   let horizon = 60_000 in
   let patience = 3_000 in
@@ -1127,6 +1144,7 @@ let print_artifact = function
   | Series s -> Stats.Series.print s
   | Note n -> Printf.printf "note: %s\n\n" n
 
-let run_and_print e =
+let run_and_print ?ctx e =
+  let ctx = match ctx with Some c -> c | None -> default_ctx () in
   Printf.printf "### %s — %s (reproduces: %s)\n\n" (String.uppercase_ascii e.id) e.title e.claim;
-  List.iter print_artifact (e.run ())
+  List.iter print_artifact (e.run ctx)

@@ -3,27 +3,38 @@
     The paper (an algorithms paper) states its results as theorems rather
     than measured tables; every experiment here operationalises one claim
     (see DESIGN.md for the mapping) and regenerates a table or an ASCII
-    figure. Experiments are deterministic: same build, same output. *)
+    figure. Experiments are deterministic: same build, same output —
+    including the domain count, which only changes wall-clock time. *)
 
 type artifact =
   | Table of Stats.Table.t
   | Series of Stats.Series.t
   | Note of string
 
+type ctx = {
+  domains : int;  (** parallelism for multi-run sweeps and batches *)
+  seeds : int;    (** seeds per batch row (E10) *)
+}
+
+val default_ctx : unit -> ctx
+(** [{ domains = Exec.Pool.default_domains (); seeds = 10 }] — the
+    historical sequential suite ran with [seeds = 10]. *)
+
 type t = {
-  id : string;       (** "e1" .. "e8", "f1" .. "f4" *)
+  id : string;       (** "e1" .. "e12", "f1" .. "f6" *)
   title : string;
   claim : string;    (** the paper claim being reproduced *)
-  run : unit -> artifact list;
+  run : ctx -> artifact list;
 }
 
 val all : t list
-(** In presentation order: E1..E8 then F1..F4. *)
+(** In presentation order: E1..E12 then F1..F6. *)
 
 val find : string -> t option
 (** Lookup by case-insensitive id. *)
 
-val run_and_print : t -> unit
-(** Execute and print all artifacts, with a header naming the claim. *)
+val run_and_print : ?ctx:ctx -> t -> unit
+(** Execute and print all artifacts, with a header naming the claim.
+    [ctx] defaults to {!default_ctx}. *)
 
 val print_artifact : artifact -> unit

@@ -1,4 +1,7 @@
-type report = {
+(* Thin compatibility façade over {!World}: the report type and the
+   one-shot entry point under their historical names. *)
+
+type report = World.report = {
   scenario : Scenario.t;
   graph : Cgraph.Graph.t;
   crashed : (int * Sim.Time.t) list;
@@ -19,84 +22,6 @@ type report = {
   horizon : Sim.Time.t;
 }
 
-(* Periodically run the daemon's executable-lemma check; stop after the
-   first failure so the report carries the earliest message. *)
-let watch_invariants ~engine ~horizon ~every (instance : Dining.Instance.t) =
-  let error = ref None in
-  let rec check () =
-    (match !error with
-    | Some _ -> ()
-    | None -> (
-        try instance.check_invariants ()
-        with Dining.Types.Invariant_violation msg -> error := Some msg));
-    if !error = None && Sim.Engine.now engine < horizon then
-      ignore (Sim.Engine.schedule_after engine ~delay:every check)
-  in
-  ignore (Sim.Engine.schedule_after engine ~delay:every check);
-  error
-
-let run ?(trace = Sim.Trace.create ()) (s : Scenario.t) =
-  let parts = Setup.build ~trace s in
-  let { Setup.engine; faults; graph; rng; crashed; instance; link_stats; song_pike; _ } =
-    parts
-  in
-  let n = Cgraph.Graph.n graph in
-  let exclusion = Monitor.Exclusion.attach engine graph faults instance in
-  let fairness = Monitor.Fairness.attach engine graph faults instance in
-  let response = Monitor.Response.attach engine faults instance in
-  let phases = Monitor.Phases.attach engine trace instance in
-  let eats_per_process = Array.make n 0 in
-  instance.add_listener (fun pid phase ->
-      if phase = Dining.Types.Eating then eats_per_process.(pid) <- eats_per_process.(pid) + 1);
-  let workload =
-    Workload.attach ~engine ~faults ~n
-      ~rng:(Sim.Rng.split_named rng "workload")
-      ~workload:s.workload instance
-  in
-  let invariant_error =
-    match s.check_every with
-    | None -> ref None
-    | Some every -> watch_invariants ~engine ~horizon:s.horizon ~every instance
-  in
-  Sim.Engine.run engine ~until:s.horizon;
-  (if !invariant_error = None then
-     try instance.check_invariants ()
-     with Dining.Types.Invariant_violation msg -> invariant_error := Some msg);
-  let convergence, detector_mistakes = Setup.convergence parts in
-  let max_footprint_bits, max_message_bits =
-    match song_pike with
-    | None -> (None, None)
-    | Some algo ->
-        let fp = ref 0 in
-        for pid = 0 to n - 1 do
-          fp := max !fp (Dining.Algorithm.footprint_bits algo pid)
-        done;
-        (Some !fp, Some (Dining.Algorithm.max_message_bits algo))
-  in
-  {
-    scenario = s;
-    graph;
-    crashed;
-    convergence;
-    detector_mistakes;
-    exclusion;
-    fairness;
-    response;
-    phases;
-    link_stats;
-    total_eats = Array.fold_left ( + ) 0 eats_per_process;
-    eats_per_process;
-    hungry_transitions = Workload.hungry_transitions workload;
-    invariant_error = !invariant_error;
-    max_footprint_bits;
-    max_message_bits;
-    events_processed = Sim.Engine.processed engine;
-    horizon = s.horizon;
-  }
-
-let throughput r = 1000.0 *. float_of_int r.total_eats /. float_of_int (max 1 r.horizon)
-
-let starved r ~older_than =
-  List.filter_map
-    (fun (pid, started) -> if r.horizon - started > older_than then Some pid else None)
-    (Monitor.Response.open_sessions r.response)
+let run = World.run
+let throughput = World.throughput
+let starved = World.starved

@@ -1,8 +1,9 @@
-(** Wires a {!Scenario.t} into engine + network + detector + daemon +
-    monitors, runs it to the horizon, and returns everything the
-    experiments need to interrogate. *)
+(** One-shot scenario execution: build a {!World}, run it to the horizon,
+    return the report. Kept as a façade over {!World} for the experiment
+    suite and tests; new code that wants to interleave probes with
+    virtual time should use {!World.create}/{!World.advance} directly. *)
 
-type report = {
+type report = World.report = {
   scenario : Scenario.t;
   graph : Cgraph.Graph.t;
   crashed : (int * Sim.Time.t) list;

@@ -1,0 +1,75 @@
+(** One self-contained simulated universe.
+
+    A [World.t] owns {e everything} a run mutates — virtual-time engine,
+    seeded RNG tree, network and fault plan, failure detector, daemon
+    instance, monitors and workload — and nothing else: no module under
+    [lib/sim], [lib/net], [lib/core] or [lib/detector] keeps top-level
+    mutable state, so two worlds never share a mutable value. That
+    share-nothing guarantee is what lets {!Exec.Pool} run many worlds on
+    concurrent domains while keeping every report bit-identical to a
+    sequential execution of the same scenarios.
+
+    {!run} is the pure [Scenario.t -> report] entry point; the
+    create/advance/report triple exposes the same run incrementally for
+    callers that want to interleave their own probes with virtual time. *)
+
+type t
+
+type report = {
+  scenario : Scenario.t;
+  graph : Cgraph.Graph.t;
+  crashed : (int * Sim.Time.t) list;
+      (** Realised crash schedule, ascending time. *)
+  convergence : Sim.Time.t;
+      (** Time after which the detector's output is settled: exact for
+          scripted detectors, measured (last false suspicion + 1) for the
+          heartbeat detector, 0 for Never/Perfect. *)
+  detector_mistakes : int;
+      (** False suspicions committed (heartbeat detector only; scripted
+          windows are counted from the scenario). *)
+  exclusion : Monitor.Exclusion.t;
+  fairness : Monitor.Fairness.t;
+  response : Monitor.Response.t;
+  phases : Monitor.Phases.t;
+      (** Doorway-vs-fork wait breakdown (Song-Pike daemons only; empty
+          for the baselines, which emit no doorway events). *)
+  link_stats : Net.Link_stats.t;  (** Dining-layer channels only. *)
+  total_eats : int;
+  eats_per_process : int array;
+  hungry_transitions : int;
+  invariant_error : string option;
+      (** First executable-lemma failure, if any (expected [None]). *)
+  max_footprint_bits : int option;  (** Song-Pike only: max over processes. *)
+  max_message_bits : int option;    (** Song-Pike only. *)
+  events_processed : int;
+  horizon : Sim.Time.t;
+}
+
+val create : ?trace:Sim.Trace.t -> Scenario.t -> t
+(** Build a fresh world: engine, network, detector, daemon, monitors and
+    workload, with the crash plan scheduled and the invariant watcher
+    armed. Virtual time has not advanced yet. *)
+
+val advance : t -> until:Sim.Time.t -> unit
+(** Process events up to and including virtual time [until]. Advancing in
+    stages is equivalent to one advance to the last time. *)
+
+val now : t -> Sim.Time.t
+(** Current virtual time of this world's engine. *)
+
+val report : t -> report
+(** Run the final invariant check and assemble the report for whatever
+    has executed so far. Normally called once [advance] reached the
+    scenario horizon. *)
+
+val run : ?trace:Sim.Trace.t -> Scenario.t -> report
+(** [create |> advance ~until:horizon |> report] — deterministic in the
+    scenario: same scenario, same report, on any domain. *)
+
+val throughput : report -> float
+(** Eats per 1000 ticks. *)
+
+val starved : report -> older_than:int -> Dining.Types.pid list
+(** Live processes still hungry at the horizon whose session is older
+    than the given age — wait-freedom violations at that patience
+    level. *)

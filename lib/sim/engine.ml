@@ -1,4 +1,4 @@
-type event = { mutable cancelled : bool; action : unit -> unit }
+type event = { mutable cancelled : bool; mutable fired : bool; action : unit -> unit }
 type event_id = event option
 
 type t = {
@@ -7,7 +7,12 @@ type t = {
   mutable processed : int;
 }
 
-let create () = { clock = Time.zero; queue = Pqueue.create (); processed = 0 }
+let create () =
+  {
+    clock = Time.zero;
+    queue = Pqueue.create ~dead:(fun ev -> ev.cancelled) ();
+    processed = 0;
+  }
 
 let now t = t.clock
 
@@ -17,14 +22,23 @@ let schedule t ~at f =
     if at < t.clock then
       invalid_arg
         (Printf.sprintf "Engine.schedule: at=%d is in the past (now=%d)" at t.clock);
-    let ev = { cancelled = false; action = f } in
+    let ev = { cancelled = false; fired = false; action = f } in
     Pqueue.add t.queue ~prio:at ev;
     Some ev
   end
 
 let schedule_after t ~delay f = schedule t ~at:(Time.add t.clock delay) f
 
-let cancel _t id = match id with None -> () | Some ev -> ev.cancelled <- true
+let cancel t id =
+  match id with
+  | None -> ()
+  | Some ev ->
+      (* Count each still-queued event as dead at most once; cancelling a
+         fired event must not skew the queue's husk accounting. *)
+      if not (ev.cancelled || ev.fired) then begin
+        ev.cancelled <- true;
+        Pqueue.note_dead t.queue
+      end
 
 let run t ~until =
   let continue = ref true in
@@ -36,8 +50,9 @@ let run t ~until =
         match Pqueue.pop t.queue with
         | None -> continue := false
         | Some (at, ev) ->
-            t.clock <- at;
+            ev.fired <- true;
             if not ev.cancelled then begin
+              t.clock <- at;
               t.processed <- t.processed + 1;
               ev.action ()
             end)

@@ -37,7 +37,9 @@ val run_all : t -> unit
     that quiesce. *)
 
 val pending : t -> int
-(** Number of events still queued (including cancelled husks). *)
+(** Number of events still queued. Cancelled husks count until they are
+    popped or reclaimed — the queue compacts itself once more than half
+    of its entries are cancelled. *)
 
 val processed : t -> int
 (** Total number of events fired so far. *)

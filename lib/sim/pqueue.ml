@@ -4,9 +4,14 @@ type 'a t = {
   mutable heap : 'a entry array; (* heap.(0) unused when size = 0 *)
   mutable size : int;
   mutable next_seq : int;
+  dead : ('a -> bool) option;
+  mutable dead_count : int; (* upper bound on dead entries still in heap *)
 }
 
-let create () = { heap = [||]; size = 0; next_seq = 0 }
+(* Below this size a rebuild costs more than the husks it reclaims. *)
+let compaction_floor = 16
+
+let create ?dead () = { heap = [||]; size = 0; next_seq = 0; dead; dead_count = 0 }
 
 let less a b = a.prio < b.prio || (a.prio = b.prio && a.seq < b.seq)
 
@@ -18,13 +23,11 @@ let grow t =
   Array.blit t.heap 0 nheap 0 t.size;
   t.heap <- nheap
 
-let add t ~prio value =
+(* Insert an existing entry, keeping its (prio, seq) identity. *)
+let push_entry t entry =
   if t.size >= Array.length t.heap then begin
-    if Array.length t.heap = 0 then t.heap <- Array.make 16 { prio; seq = 0; value }
-    else grow t
+    if Array.length t.heap = 0 then t.heap <- Array.make 16 entry else grow t
   end;
-  let entry = { prio; seq = t.next_seq; value } in
-  t.next_seq <- t.next_seq + 1;
   let i = ref t.size in
   t.size <- t.size + 1;
   t.heap.(!i) <- entry;
@@ -40,6 +43,24 @@ let add t ~prio value =
     end
     else continue := false
   done
+
+let add t ~prio value =
+  let entry = { prio; seq = t.next_seq; value } in
+  t.next_seq <- t.next_seq + 1;
+  push_entry t entry
+
+let compact t =
+  match t.dead with
+  | None -> ()
+  | Some is_dead ->
+      let live = Array.sub t.heap 0 t.size in
+      t.size <- 0;
+      t.dead_count <- 0;
+      Array.iter (fun e -> if not (is_dead e.value) then push_entry t e) live
+
+let note_dead t =
+  t.dead_count <- min t.size (t.dead_count + 1);
+  if t.size >= compaction_floor && 2 * t.dead_count > t.size then compact t
 
 let sift_down t =
   let i = ref 0 in
@@ -67,6 +88,9 @@ let pop t =
       t.heap.(0) <- t.heap.(t.size);
       sift_down t
     end;
+    (match t.dead with
+    | Some is_dead when is_dead top.value -> t.dead_count <- max 0 (t.dead_count - 1)
+    | _ -> ());
     Some (top.prio, top.value)
   end
 
@@ -76,4 +100,5 @@ let is_empty t = t.size = 0
 
 let clear t =
   t.size <- 0;
+  t.dead_count <- 0;
   t.heap <- [||]

@@ -1,0 +1,75 @@
+(* Tests for the domain pool: deterministic ordering, exception
+   propagation, and the sequential fallback. *)
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+let init_ordered () =
+  Exec.Pool.with_pool ~domains:4 (fun pool ->
+      let a = Exec.Pool.init pool 100 (fun i -> i * i) in
+      check bool "results in index order" true (a = Array.init 100 (fun i -> i * i)))
+
+let map_preserves_order () =
+  Exec.Pool.with_pool ~domains:4 (fun pool ->
+      let l = Exec.Pool.map_list pool (fun x -> 2 * x) [ 5; 1; 9; 3 ] in
+      check (Alcotest.list int) "map_list order" [ 10; 2; 18; 6 ] l;
+      let a = Exec.Pool.map_array pool String.length [| "a"; "bcd"; "" |] in
+      check bool "map_array order" true (a = [| 1; 3; 0 |]))
+
+let sequential_fallback_same_results () =
+  let f i = (i * 7919) mod 1000 in
+  let par = Exec.Pool.with_pool ~domains:4 (fun p -> Exec.Pool.init p 50 f) in
+  let seq = Exec.Pool.with_pool ~domains:1 (fun p -> Exec.Pool.init p 50 f) in
+  check bool "domains:4 = domains:1" true (par = seq)
+
+let exception_propagates () =
+  Exec.Pool.with_pool ~domains:4 (fun pool ->
+      match Exec.Pool.init pool 10 (fun i -> if i >= 3 then failwith (string_of_int i) else i) with
+      | _ -> Alcotest.fail "expected an exception"
+      | exception Failure msg ->
+          (* Lowest failing index wins, no matter which domain ran it. *)
+          check Alcotest.string "lowest-index exception" "3" msg);
+  (* The pool survives a failing batch. *)
+  Exec.Pool.with_pool ~domains:4 (fun pool ->
+      let a = Exec.Pool.init pool 5 Fun.id in
+      check bool "usable after failure" true (a = [| 0; 1; 2; 3; 4 |]))
+
+let empty_and_size () =
+  Exec.Pool.with_pool ~domains:3 (fun pool ->
+      check int "size" 3 (Exec.Pool.size pool);
+      check bool "empty batch" true (Exec.Pool.init pool 0 (fun _ -> assert false) = [||]));
+  check bool "default domains >= 1" true (Exec.Pool.default_domains () >= 1)
+
+let shutdown_idempotent () =
+  let pool = Exec.Pool.create ~domains:2 () in
+  let a = Exec.Pool.init pool 8 Fun.id in
+  Exec.Pool.shutdown pool;
+  Exec.Pool.shutdown pool;
+  check bool "results before shutdown" true (a = Array.init 8 Fun.id)
+
+let successive_batches () =
+  Exec.Pool.with_pool ~domains:4 (fun pool ->
+      for n = 1 to 20 do
+        let a = Exec.Pool.init pool n (fun i -> i + n) in
+        if a <> Array.init n (fun i -> i + n) then Alcotest.failf "batch %d wrong" n
+      done)
+
+let matches_array_init =
+  QCheck.Test.make ~name:"exec: init = Array.init for any size/domains" ~count:50
+    QCheck.(pair (int_bound 200) (int_range 1 6))
+    (fun (n, domains) ->
+      let f i = (i * 31) lxor n in
+      Exec.Pool.with_pool ~domains (fun p -> Exec.Pool.init p n f) = Array.init n f)
+
+let suite =
+  [
+    Alcotest.test_case "pool: init keeps index order" `Quick init_ordered;
+    Alcotest.test_case "pool: maps preserve order" `Quick map_preserves_order;
+    Alcotest.test_case "pool: sequential fallback agrees" `Quick sequential_fallback_same_results;
+    Alcotest.test_case "pool: lowest-index exception propagates" `Quick exception_propagates;
+    Alcotest.test_case "pool: empty batch and size" `Quick empty_and_size;
+    Alcotest.test_case "pool: shutdown idempotent" `Quick shutdown_idempotent;
+    Alcotest.test_case "pool: many successive batches" `Quick successive_batches;
+    QCheck_alcotest.to_alcotest matches_array_init;
+  ]

@@ -243,6 +243,79 @@ let batch_aggregates () =
   check bool "invariants" true (a.invariant_errors = []);
   check bool "pp renders" true (String.length (Format.asprintf "%a" Harness.Batch.pp a) > 0)
 
+let ring16_heartbeat () =
+  let s =
+    scenario
+      ~topology:(Cgraph.Topology.Ring 16)
+      ~detector:(Harness.Scenario.Heartbeat { period = 20; initial_timeout = 30; bump = 25 })
+      ~crashes:(Harness.Scenario.Crash_at [ (5, 6_000) ])
+      ~horizon:20_000 ()
+  in
+  { s with delay = Net.Delay.Partial_synchrony { gst = 8_000; pre = (1, 60); post = (1, 8) } }
+
+let batch_parallel_equals_sequential () =
+  let s = ring16_heartbeat () in
+  let seq = Harness.Batch.run ~seeds:4 ~domains:1 s in
+  let par = Harness.Batch.run ~seeds:4 ~domains:4 s in
+  (* Full structural equality: every summary, every fold, and the
+     invariant_errors list in seed order. *)
+  check bool "aggregates equal" true (seq = par);
+  check Alcotest.string "printed form byte-identical"
+    (Format.asprintf "%a" Harness.Batch.pp seq)
+    (Format.asprintf "%a" Harness.Batch.pp par)
+
+let batch_patience_knob () =
+  let s = ring16_heartbeat () in
+  let default = Harness.Batch.run ~seeds:2 s in
+  let explicit = Harness.Batch.run ~seeds:2 ~patience:(s.horizon / 4) s in
+  check bool "default patience is horizon/4" true (default = explicit);
+  let impatient = Harness.Batch.run ~seeds:2 ~patience:1 s in
+  check bool "tighter patience can only find more stragglers" true
+    (impatient.starved_total >= default.starved_total)
+
+let world_staged_advance () =
+  let s = ring16_heartbeat () in
+  let w = Harness.World.create s in
+  check int "fresh world at time zero" 0 (Harness.World.now w);
+  Harness.World.advance w ~until:(s.horizon / 3);
+  Harness.World.advance w ~until:s.horizon;
+  let staged = Harness.World.report w in
+  let oneshot = Harness.Run.run s in
+  check int "same eats" oneshot.total_eats staged.total_eats;
+  check int "same events" oneshot.events_processed staged.events_processed;
+  check int "same hungry transitions" oneshot.hungry_transitions staged.hungry_transitions;
+  check bool "same convergence" true (oneshot.convergence = staged.convergence);
+  check bool "same crash plan" true (oneshot.crashed = staged.crashed);
+  check bool "same per-process eats" true (oneshot.eats_per_process = staged.eats_per_process)
+
+let replay_property =
+  QCheck.Test.make ~name:"harness: Run.run twice gives identical summaries" ~count:8
+    QCheck.(pair (int_bound 10_000) (int_bound 2))
+    (fun (seed, topo_idx) ->
+      let topology =
+        match topo_idx with
+        | 0 -> Cgraph.Topology.Ring 8
+        | 1 -> Cgraph.Topology.Clique 5
+        | _ -> Cgraph.Topology.Random_gnp (10, 0.3, Int64.of_int (seed + 1))
+      in
+      let s =
+        scenario ~topology ~seed:(Int64.of_int seed) ~detector:noisy_oracle
+          ~crashes:(Harness.Scenario.Random_crashes { count = 1; from_t = 500; to_t = 8_000 })
+          ~horizon:15_000 ()
+      in
+      let a = Harness.Run.run s and b = Harness.Run.run s in
+      a.total_eats = b.total_eats
+      && a.events_processed = b.events_processed
+      && a.hungry_transitions = b.hungry_transitions
+      && a.convergence = b.convergence
+      && a.crashed = b.crashed
+      && a.eats_per_process = b.eats_per_process
+      && a.invariant_error = b.invariant_error
+      && Monitor.Exclusion.count a.exclusion = Monitor.Exclusion.count b.exclusion
+      && Monitor.Response.summary a.response = Monitor.Response.summary b.response
+      && Net.Link_stats.max_edge_watermark a.link_stats
+         = Net.Link_stats.max_edge_watermark b.link_stats)
+
 let names_stable () =
   check Alcotest.string "algo name" "song-pike" (Harness.Scenario.algo_name Harness.Scenario.Song_pike);
   check Alcotest.string "ordered name" "ordered" (Harness.Scenario.algo_name Harness.Scenario.Ordered);
@@ -296,5 +369,10 @@ let suite =
     Alcotest.test_case "names are stable" `Quick names_stable;
     Alcotest.test_case "phase breakdown in reports" `Quick phases_in_report;
     Alcotest.test_case "batch: multi-seed aggregation" `Slow batch_aggregates;
+    Alcotest.test_case "batch: domains:1 = domains:4 bit-identical" `Slow
+      batch_parallel_equals_sequential;
+    Alcotest.test_case "batch: ?patience knob" `Slow batch_patience_knob;
+    Alcotest.test_case "world: staged advance = one-shot run" `Quick world_staged_advance;
+    QCheck_alcotest.to_alcotest replay_property;
     Alcotest.test_case "experiment registry" `Quick experiments_registry;
   ]

@@ -150,6 +150,69 @@ let pqueue_clear () =
   Sim.Pqueue.add q ~prio:1 1;
   check int "usable after clear" 1 (Sim.Pqueue.size q)
 
+let pqueue_compacts_when_mostly_dead () =
+  let dead = Hashtbl.create 64 in
+  let q = Sim.Pqueue.create ~dead:(Hashtbl.mem dead) () in
+  for i = 0 to 99 do
+    Sim.Pqueue.add q ~prio:i i
+  done;
+  check int "full before cancellations" 100 (Sim.Pqueue.size q);
+  for i = 0 to 59 do
+    Hashtbl.replace dead i ();
+    Sim.Pqueue.note_dead q
+  done;
+  check bool "husks reclaimed" true (Sim.Pqueue.size q < 100);
+  check bool "live entries kept" true (Sim.Pqueue.size q >= 40);
+  let rec drain acc =
+    match Sim.Pqueue.pop q with
+    | None -> List.rev acc
+    | Some (_, v) -> drain (if Hashtbl.mem dead v then acc else v :: acc)
+  in
+  check (Alcotest.list int) "live order preserved" (List.init 40 (fun i -> 60 + i)) (drain [])
+
+let pqueue_forced_compact () =
+  let dead = Hashtbl.create 8 in
+  let q = Sim.Pqueue.create ~dead:(Hashtbl.mem dead) () in
+  List.iteri (fun i p -> Sim.Pqueue.add q ~prio:p (i, p)) [ 5; 1; 4; 1; 3 ];
+  Hashtbl.replace dead (2, 4) ();
+  Sim.Pqueue.note_dead q;
+  Sim.Pqueue.compact q;
+  check int "husk dropped" 4 (Sim.Pqueue.size q);
+  let order = List.init 4 (fun _ -> snd (snd (Option.get (Sim.Pqueue.pop q)))) in
+  check (Alcotest.list int) "order and FIFO ties survive compaction" [ 1; 1; 3; 5 ] order
+
+let pqueue_compaction_agrees =
+  (* Draining a compacting queue after arbitrary cancellations yields the
+     same live sequence as filtering a plain queue's drain. *)
+  QCheck.Test.make ~name:"pqueue: compaction never changes the live drain" ~count:200
+    QCheck.(pair (list_of_size Gen.(int_range 0 60) (int_bound 20)) (int_bound 1000))
+    (fun (prios, salt) ->
+      let dead = Hashtbl.create 16 in
+      let is_dead (i, _) = Hashtbl.mem dead i in
+      let q = Sim.Pqueue.create ~dead:is_dead () in
+      let plain = Sim.Pqueue.create () in
+      List.iteri
+        (fun i p ->
+          Sim.Pqueue.add q ~prio:p (i, p);
+          Sim.Pqueue.add plain ~prio:p (i, p))
+        prios;
+      List.iteri
+        (fun i _ ->
+          if ((i * 7919) + salt) mod 7 < 4 then begin
+            Hashtbl.replace dead i ();
+            Sim.Pqueue.note_dead q
+          end)
+        prios;
+      let drain queue =
+        let rec go acc =
+          match Sim.Pqueue.pop queue with
+          | None -> List.rev acc
+          | Some (_, v) -> go (if is_dead v then acc else v :: acc)
+        in
+        go []
+      in
+      drain q = drain plain)
+
 (* ------------------------------ Engine ----------------------------- *)
 
 let engine_fires_in_order () =
@@ -212,6 +275,26 @@ let engine_nested_scheduling () =
   check int "chain length" 10 !hits;
   check int "clock advanced" 18 (Sim.Engine.now engine)
 
+let engine_mass_cancel () =
+  let engine = Sim.Engine.create () in
+  let fired = ref [] in
+  let ids =
+    List.init 200 (fun i ->
+        Sim.Engine.schedule engine ~at:(i + 1) (fun () -> fired := i :: !fired))
+  in
+  (* Cancel three quarters; the queue should reclaim the husks. *)
+  List.iteri (fun i id -> if i mod 4 <> 0 then Sim.Engine.cancel engine id) ids;
+  check bool "husks reclaimed from the event queue" true (Sim.Engine.pending engine < 200);
+  (* Double-cancel and cancelling a fired event must be harmless. *)
+  Sim.Engine.cancel engine (List.nth ids 1);
+  Sim.Engine.run_all engine;
+  Sim.Engine.cancel engine (List.nth ids 0);
+  check (Alcotest.list int) "exactly the survivors fired, in order"
+    (List.init 50 (fun k -> 4 * k))
+    (List.rev !fired);
+  check int "processed counts only real firings" 50 (Sim.Engine.processed engine);
+  check int "clock stops at the last live event" 197 (Sim.Engine.now engine)
+
 let engine_infinity_noop () =
   let engine = Sim.Engine.create () in
   ignore (Sim.Engine.schedule engine ~at:Sim.Time.infinity (fun () -> Alcotest.fail "fired"));
@@ -264,12 +347,16 @@ let suite =
     Alcotest.test_case "pqueue: empty pops" `Quick pqueue_empty_pop;
     Alcotest.test_case "pqueue: clear" `Quick pqueue_clear;
     QCheck_alcotest.to_alcotest pqueue_sorts;
+    Alcotest.test_case "pqueue: compacts when mostly dead" `Quick pqueue_compacts_when_mostly_dead;
+    Alcotest.test_case "pqueue: forced compaction" `Quick pqueue_forced_compact;
+    QCheck_alcotest.to_alcotest pqueue_compaction_agrees;
     Alcotest.test_case "engine: fires in time order" `Quick engine_fires_in_order;
     Alcotest.test_case "engine: FIFO at equal times" `Quick engine_same_time_fifo;
     Alcotest.test_case "engine: run ~until" `Quick engine_until_bound;
     Alcotest.test_case "engine: cancellation" `Quick engine_cancel;
     Alcotest.test_case "engine: rejects past events" `Quick engine_rejects_past;
     Alcotest.test_case "engine: handlers schedule more events" `Quick engine_nested_scheduling;
+    Alcotest.test_case "engine: mass cancellation compacts" `Quick engine_mass_cancel;
     Alcotest.test_case "engine: infinity is a no-op" `Quick engine_infinity_noop;
     Alcotest.test_case "trace: disabled by default" `Quick trace_disabled_by_default;
     Alcotest.test_case "trace: collects records" `Quick trace_collects;
