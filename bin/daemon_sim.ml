@@ -252,7 +252,7 @@ let experiments_cmd =
         Printf.printf "### %s — %s (reproduces: %s)\n\n" (String.uppercase_ascii e.id) e.title
           e.claim;
         let artifacts = e.run ctx in
-        List.iter Harness.Experiments.print_artifact artifacts;
+        List.iter (fun a -> Harness.Experiments.print_artifact a) artifacts;
         match csv_dir with
         | None -> ()
         | Some dir ->

@@ -1,0 +1,124 @@
+(* lint — the determinism & domain-safety static-analysis pass.
+
+   Parses every .ml in the deterministic zone with compiler-libs and
+   applies the Lint.Rule set. Exit codes: 0 clean, 1 findings, 2 on
+   unreadable/unparsable inputs or bad flags. *)
+
+open Cmdliner
+
+let rules_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "rules" ] ~docv:"IDS"
+        ~doc:
+          "Comma-separated rule ids to enable (default: all). See $(b,--list-rules) for \
+           the catalogue.")
+
+let zone_arg =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "zone" ] ~docv:"DIR"
+        ~doc:
+          "Restrict the scan to this directory (repeatable, comma-separable). Defaults \
+           to the deterministic zone: lib/sim, lib/core, lib/net, lib/detector, \
+           lib/graph, lib/harness, lib/monitor, lib/stabilize, lib/baselines, \
+           lib/mcheck, lib/exec, lib/stats.")
+
+let format_arg =
+  Arg.(
+    value
+    & opt (enum [ ("text", `Text); ("github", `Github) ]) `Text
+    & info [ "format" ] ~docv:"FMT"
+        ~doc:"Output format: $(b,text) (file:line:col) or $(b,github) (CI annotations).")
+
+let allowlist_arg =
+  Arg.(
+    value & opt (some file) None
+    & info [ "allowlist" ] ~docv:"FILE"
+        ~doc:
+          "Allowlist file ($(i,rule-id path) per line, # comments). Defaults to \
+           ./lint.allow when present.")
+
+let list_rules_arg =
+  Arg.(value & flag & info [ "list-rules" ] ~doc:"Print the rule catalogue and exit.")
+
+let files_arg =
+  Arg.(
+    value & pos_all string []
+    & info [] ~docv:"FILE" ~doc:"Lint these files instead of scanning the zone.")
+
+let split_commas args = List.concat_map (String.split_on_char ',') args
+
+let list_rules () =
+  List.iter
+    (fun r -> Printf.printf "%-18s %s\n\n" (Lint.Rule.name r) (Lint.Rule.explanation r))
+    Lint.Rule.all
+
+let go rules zone format allowlist list_rules_only files =
+  if list_rules_only then begin
+    list_rules ();
+    0
+  end
+  else
+    let bad_rules = ref [] in
+    let rules =
+      match rules with
+      | None -> Lint.Rule.all
+      | Some csv ->
+          List.filter_map
+            (fun name ->
+              match Lint.Rule.of_name name with
+              | Some r -> Some r
+              | None ->
+                  bad_rules := name :: !bad_rules;
+                  None)
+            (split_commas [ csv ] |> List.filter (fun s -> s <> ""))
+    in
+    List.iter (Printf.eprintf "lint: unknown rule %S (see --list-rules)\n") !bad_rules;
+    let allowlist =
+      match allowlist with
+      | Some f -> Lint.Allowlist.load f
+      | None ->
+          if Sys.file_exists "lint.allow" then Lint.Allowlist.load "lint.allow"
+          else Lint.Allowlist.empty
+    in
+    let targets =
+      if files <> [] then files
+      else
+        let dirs = if zone = [] then Lint.Zone.default_dirs else split_commas zone in
+        Lint.Zone.files ~dirs ()
+    in
+    if !bad_rules <> [] then 2
+    else if targets = [] then begin
+      Printf.eprintf "lint: nothing to scan (empty zone?)\n";
+      2
+    end
+    else begin
+      let report = Lint.Engine.lint_files ~rules ~allowlist targets in
+      List.iter (fun (file, msg) -> Printf.eprintf "lint: %s: %s\n" file msg) report.errors;
+      let render =
+        match format with `Text -> Lint.Finding.to_text | `Github -> Lint.Finding.to_github
+      in
+      List.iter (fun f -> print_endline (render f)) report.findings;
+      match (report.errors, report.findings) with
+      | _ :: _, _ -> 2
+      | [], _ :: _ ->
+          Printf.eprintf "lint: %d finding(s) in %d file(s)\n"
+            (List.length report.findings)
+            (List.length targets);
+          1
+      | [], [] ->
+          Printf.printf "lint: %d file(s) clean\n" (List.length targets);
+          0
+    end
+
+let cmd =
+  Cmd.v
+    (Cmd.info "lint" ~version:"%%VERSION%%"
+       ~doc:"Determinism & domain-safety static analysis for the simulation core.")
+    Term.(
+      const go $ rules_arg $ zone_arg $ format_arg $ allowlist_arg $ list_rules_arg
+      $ files_arg)
+
+let () = exit (Cmd.eval' cmd)

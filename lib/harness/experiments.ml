@@ -1139,12 +1139,20 @@ let find id =
   let id = String.lowercase_ascii id in
   List.find_opt (fun e -> e.id = id) all
 
-let print_artifact = function
-  | Table t -> Stats.Table.print t
-  | Series s -> Stats.Series.print s
-  | Note n -> Printf.printf "note: %s\n\n" n
+(* Report emission goes through a formatter so library code never writes
+   to stdout directly; executables pass the sink (default std_formatter).
+   Each artifact is flushed eagerly so output interleaves correctly with
+   any direct channel writes the caller makes around us. *)
+let print_artifact ?(ppf = Format.std_formatter) artifact =
+  (match artifact with
+  | Table t -> Stats.Table.pp ppf t
+  | Series s -> Stats.Series.pp ppf s
+  | Note n -> Format.fprintf ppf "note: %s\n\n" n);
+  Format.pp_print_flush ppf ()
 
-let run_and_print ?ctx e =
+let run_and_print ?ctx ?(ppf = Format.std_formatter) e =
   let ctx = match ctx with Some c -> c | None -> default_ctx () in
-  Printf.printf "### %s — %s (reproduces: %s)\n\n" (String.uppercase_ascii e.id) e.title e.claim;
-  List.iter print_artifact (e.run ctx)
+  Format.fprintf ppf "### %s — %s (reproduces: %s)\n\n" (String.uppercase_ascii e.id)
+    e.title e.claim;
+  List.iter (print_artifact ~ppf) (e.run ctx);
+  Format.pp_print_flush ppf ()

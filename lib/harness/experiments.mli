@@ -33,8 +33,9 @@ val all : t list
 val find : string -> t option
 (** Lookup by case-insensitive id. *)
 
-val run_and_print : ?ctx:ctx -> t -> unit
+val run_and_print : ?ctx:ctx -> ?ppf:Format.formatter -> t -> unit
 (** Execute and print all artifacts, with a header naming the claim.
-    [ctx] defaults to {!default_ctx}. *)
+    [ctx] defaults to {!default_ctx}; [ppf] to [Format.std_formatter] —
+    library code never writes to stdout except through this parameter. *)
 
-val print_artifact : artifact -> unit
+val print_artifact : ?ppf:Format.formatter -> artifact -> unit

@@ -1,0 +1,56 @@
+type entry = { rule : string; path : string } (* rule = "*" allows every rule *)
+type t = entry list
+
+let empty = []
+
+let normalize path =
+  if String.length path > 2 && String.sub path 0 2 = "./" then
+    String.sub path 2 (String.length path - 2)
+  else path
+
+let of_list entries = List.map (fun (rule, path) -> { rule; path = normalize path }) entries
+
+let parse_line ~file ~lineno line =
+  let line =
+    match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  match
+    String.split_on_char ' ' line
+    |> List.concat_map (String.split_on_char '\t')
+    |> List.filter (fun s -> s <> "")
+  with
+  | [] -> None
+  | [ rule; path ] -> Some { rule; path = normalize path }
+  | _ ->
+      invalid_arg
+        (Printf.sprintf "%s:%d: expected `<rule-id|*> <path>`, got %S" file lineno line)
+
+let load file =
+  let ic = open_in file in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec loop lineno acc =
+        match input_line ic with
+        | line -> (
+            match parse_line ~file ~lineno line with
+            | Some e -> loop (lineno + 1) (e :: acc)
+            | None -> loop (lineno + 1) acc)
+        | exception End_of_file -> List.rev acc
+      in
+      loop 1 [])
+
+let path_matches ~entry ~file =
+  let file = normalize file in
+  String.equal entry file
+  ||
+  let suffix = "/" ^ entry in
+  let lf = String.length file and ls = String.length suffix in
+  lf > ls && String.sub file (lf - ls) ls = suffix
+
+let allows t ~rule ~file =
+  List.exists
+    (fun e -> (e.rule = "*" || e.rule = rule) && path_matches ~entry:e.path ~file)
+    t

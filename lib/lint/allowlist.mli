@@ -1,0 +1,21 @@
+(** File-level suppressions for intentional exceptions (the designated
+    report printers). One entry per line: [<rule-id|*> <path>], [#]
+    comments. Site-level suppressions use the [[@lint.allow "rule-id"]]
+    attribute instead — prefer those; the allowlist is for files whose
+    whole purpose violates a rule. *)
+
+type t
+
+val empty : t
+
+val of_list : (string * string) list -> t
+(** [(rule, path)] pairs; rule ["*"] allows every rule for that path. *)
+
+val load : string -> t
+(** Parse an allowlist file. Raises [Sys_error] if unreadable and
+    [Invalid_argument] on a malformed line. *)
+
+val allows : t -> rule:string -> file:string -> bool
+(** A path entry matches the linted file either exactly or as a
+    [/]-anchored suffix, so [lib/stats/table.ml] also matches
+    [/abs/prefix/lib/stats/table.ml]. *)

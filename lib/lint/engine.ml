@@ -1,0 +1,323 @@
+open Parsetree
+
+type report = { findings : Finding.t list; errors : (string * string) list }
+
+let no_report = { findings = []; errors = [] }
+
+let merge a b = { findings = a.findings @ b.findings; errors = a.errors @ b.errors }
+
+(* ------------------------------------------------------------------ *)
+(* Longident helpers.                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let rec flatten = function
+  | Longident.Lident s -> [ s ]
+  | Longident.Ldot (l, s) -> flatten l @ [ s ]
+  | Longident.Lapply _ -> []
+
+let rec last2 = function
+  | [] | [ _ ] -> None
+  | [ a; b ] -> Some (a, b)
+  | _ :: tl -> last2 tl
+
+let ident_path e =
+  match e.pexp_desc with Pexp_ident { txt; _ } -> Some (flatten txt) | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Syntactic classifiers.                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Hashtbl.iter / Hashtbl.fold, also through functorised paths like
+   Int_table.iter is NOT matched (a functor instance has its own
+   comparison; order is still hash order, but we cannot tell a Hashtbl
+   functor from a Map one syntactically). We match the stdlib module. *)
+let hashtbl_iteration path =
+  match last2 path with
+  | Some ("Hashtbl", (("iter" | "fold") as f)) -> Some f
+  | _ -> None
+
+let sort_fn_path = function
+  | [ "List"; ("sort" | "stable_sort" | "fast_sort" | "sort_uniq") ] -> true
+  | _ -> false
+
+let rec is_sort_fn e =
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } -> sort_fn_path (flatten txt)
+  | Pexp_apply (f, _) -> is_sort_fn f
+  | _ -> false
+
+let ambient_effect path =
+  match path with
+  | "Random" :: _ :: _ -> Some "Random.*"
+  | "Unix" :: _ -> Some "Unix.*"
+  | [ "Sys"; "time" ] -> Some "Sys.time"
+  | [ "exit" ] | [ "Stdlib"; "exit" ] -> Some "exit"
+  | _ -> None
+
+let stdout_printer = function
+  | "print_string" | "print_endline" | "print_newline" | "print_char" | "print_int"
+  | "print_float" | "print_bytes" | "prerr_string" | "prerr_endline" | "prerr_newline" ->
+      true
+  | _ -> false
+
+let io_effect path =
+  match path with
+  | [ p ] when stdout_printer p -> Some p
+  | [ "Stdlib"; p ] when stdout_printer p -> Some ("Stdlib." ^ p)
+  | [ "Printf"; (("printf" | "eprintf") as p) ] -> Some ("Printf." ^ p)
+  | [ "Format"; (("printf" | "eprintf" | "print_string" | "print_newline" | "print_flush")
+                as p) ] ->
+      Some ("Format." ^ p)
+  | _ -> None
+
+(* Allocators of mutable state; a toplevel binding reaching one of these
+   outside a function body is shared by every run and every domain. *)
+let mutable_allocator path =
+  match path with
+  | [ "ref" ] | [ "Stdlib"; "ref" ] -> Some "ref"
+  | [ m; "create" ] when List.mem m [ "Hashtbl"; "Buffer"; "Queue"; "Stack"; "Bytes" ] ->
+      Some (m ^ ".create")
+  | [ "Array"; (("make" | "create_float" | "init") as f) ] -> Some ("Array." ^ f)
+  | [ "Bytes"; "make" ] -> Some "Bytes.make"
+  | [ "Atomic"; "make" ] -> Some "Atomic.make"
+  | _ -> None
+
+let immediate_constant e =
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_integer _ | Pconst_char _) -> true
+  | _ -> false
+
+(* [@lint.allow "rule-a,rule-b"]; a bare [@lint.allow] allows every rule. *)
+let allows_of_attrs attrs =
+  List.concat_map
+    (fun (a : attribute) ->
+      if a.attr_name.txt <> "lint.allow" then []
+      else
+        match a.attr_payload with
+        | PStr [] -> [ "*" ]
+        | PStr
+            [
+              {
+                pstr_desc =
+                  Pstr_eval ({ pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ }, _);
+                _;
+              };
+            ] ->
+            String.split_on_char ',' s
+            |> List.concat_map (String.split_on_char ' ')
+            |> List.filter (fun r -> r <> "")
+        | _ -> [ "*" ])
+    attrs
+
+(* ------------------------------------------------------------------ *)
+(* The walker.                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type state = {
+  file : string;
+  enabled : Rule.id -> bool;
+  allowlist : Allowlist.t;
+  mutable allowed : string list; (* rules suppressed by enclosing attributes *)
+  mutable sorted : bool;         (* value flows into a List.sort *)
+  mutable findings : Finding.t list;
+}
+
+let emit st loc rule fmt =
+  Printf.ksprintf
+    (fun message ->
+      let name = Rule.name rule in
+      if
+        st.enabled rule
+        && (not (List.mem name st.allowed || List.mem "*" st.allowed))
+        && not (Allowlist.allows st.allowlist ~rule:name ~file:st.file)
+      then st.findings <- Finding.make ~file:st.file ~loc ~rule:name ~message :: st.findings)
+    fmt
+
+(* The sim-local RNG wrapper is the one sanctioned home for Random. *)
+let random_exempt file =
+  Filename.basename file = "rng.ml"
+  && Filename.basename (Filename.dirname file) = "sim"
+
+let rec swallowing_pattern p =
+  match p.ppat_desc with
+  | Ppat_any -> true
+  | Ppat_or (a, b) -> swallowing_pattern a || swallowing_pattern b
+  | _ -> false
+
+(* Scan a toplevel binding's RHS for mutable allocations, stopping at
+   function boundaries (allocation inside a closure happens per call). *)
+let rec scan_mutable_global st e =
+  let allowed = allows_of_attrs e.pexp_attributes in
+  if not (List.mem "*" allowed || List.mem (Rule.name Rule.Mutable_global) allowed) then
+    match e.pexp_desc with
+    | Pexp_fun _ | Pexp_function _ | Pexp_lazy _ -> ()
+    | Pexp_apply (f, args) ->
+        (match ident_path f with
+        | Some path -> (
+            match mutable_allocator path with
+            | Some name ->
+                emit st e.pexp_loc Rule.Mutable_global
+                  "toplevel %s creates mutable state shared across runs and domains; \
+                   allocate it per run (e.g. inside Harness.World)"
+                  name
+            | None -> ())
+        | None -> ());
+        List.iter (fun (_, a) -> scan_mutable_global st a) args
+    | Pexp_tuple es | Pexp_array es -> List.iter (scan_mutable_global st) es
+    | Pexp_construct (_, Some e) | Pexp_variant (_, Some e) -> scan_mutable_global st e
+    | Pexp_record (fields, base) ->
+        List.iter (fun (_, e) -> scan_mutable_global st e) fields;
+        Option.iter (scan_mutable_global st) base
+    | Pexp_constraint (e, _) | Pexp_coerce (e, _, _) | Pexp_open (_, e) ->
+        scan_mutable_global st e
+    | Pexp_let (_, vbs, body) ->
+        List.iter (fun vb -> scan_mutable_global st vb.pvb_expr) vbs;
+        scan_mutable_global st body
+    | Pexp_sequence (a, b) -> List.iter (scan_mutable_global st) [ a; b ]
+    | Pexp_ifthenelse (_, a, b) ->
+        scan_mutable_global st a;
+        Option.iter (scan_mutable_global st) b
+    | _ -> ()
+
+let check_ident st loc path =
+  (match ambient_effect path with
+  | Some name when not (random_exempt st.file) ->
+      emit st loc Rule.Ambient_effects
+        "%s is an ambient effect: runs stop being a pure function of (scenario, seed); \
+         thread Sim.Rng / engine time through instead"
+        name
+  | _ -> ());
+  match io_effect path with
+  | Some name ->
+      emit st loc Rule.Io_in_library
+        "%s writes to a process-global channel from library code; take a \
+         Format.formatter parameter and let the caller choose the sink"
+        name
+  | None -> ()
+
+let iterator st =
+  let open Ast_iterator in
+  let expr it e =
+    let saved_allowed = st.allowed and saved_sorted = st.sorted in
+    st.allowed <- allows_of_attrs e.pexp_attributes @ st.allowed;
+    (* Per-node checks. *)
+    (match e.pexp_desc with
+    | Pexp_ident { txt; _ } -> check_ident st e.pexp_loc (flatten txt)
+    | Pexp_apply (f, args) -> (
+        (match ident_path f with
+        | Some path -> (
+            (match hashtbl_iteration path with
+            | Some fn when not st.sorted ->
+                emit st e.pexp_loc Rule.Nondet_iteration
+                  "Hashtbl.%s enumerates bindings in unspecified hash order; sort the \
+                   result (|> List.sort ...) or mark an order-insensitive reduction \
+                   with [@lint.allow \"nondet-iteration\"]"
+                  fn
+            | _ -> ());
+            match path with
+            | [ ("==" | "!=") as op ] when List.length args = 2 ->
+                if not (List.exists (fun (_, a) -> immediate_constant a) args) then
+                  emit st e.pexp_loc Rule.Physical_equality
+                    "physical equality (%s) on possibly-boxed values depends on \
+                     allocation history; use = / <> or compare"
+                    op
+            | _ -> ())
+        | None -> ()))
+    | Pexp_try (_, cases) ->
+        List.iter
+          (fun c ->
+            if c.pc_guard = None && swallowing_pattern c.pc_lhs then
+              emit st c.pc_lhs.ppat_loc Rule.Exception_swallow
+                "wildcard handler swallows every exception (including Stack_overflow \
+                 and Assert_failure); match the exceptions you mean to handle")
+          cases
+    | _ -> ());
+    (* Recursion, threading the sorted-context flag through the two
+       pipeline shapes the sanitizer recognises. *)
+    (match e.pexp_desc with
+    | Pexp_apply
+        ( { pexp_desc = Pexp_ident { txt = Longident.Lident "|>"; _ }; _ },
+          [ (Asttypes.Nolabel, lhs); (Asttypes.Nolabel, rhs) ] )
+      when is_sort_fn rhs ->
+        st.sorted <- true;
+        it.expr it lhs;
+        st.sorted <- saved_sorted;
+        it.expr it rhs
+    | Pexp_apply
+        ( { pexp_desc = Pexp_ident { txt = Longident.Lident "@@"; _ }; _ },
+          [ (Asttypes.Nolabel, f); (Asttypes.Nolabel, arg) ] )
+      when is_sort_fn f ->
+        it.expr it f;
+        st.sorted <- true;
+        it.expr it arg
+    | Pexp_apply (f, args) when is_sort_fn f ->
+        it.expr it f;
+        st.sorted <- true;
+        List.iter (fun (_, a) -> it.expr it a) args
+    | _ -> default_iterator.expr it e);
+    st.allowed <- saved_allowed;
+    st.sorted <- saved_sorted
+  in
+  let value_binding it vb =
+    let saved = st.allowed in
+    st.allowed <- allows_of_attrs vb.pvb_attributes @ st.allowed;
+    default_iterator.value_binding it vb;
+    st.allowed <- saved
+  in
+  let structure_item it si =
+    (match si.pstr_desc with
+    | Pstr_value (_, vbs) ->
+        List.iter
+          (fun vb ->
+            let saved = st.allowed in
+            st.allowed <- allows_of_attrs vb.pvb_attributes @ st.allowed;
+            scan_mutable_global st vb.pvb_expr;
+            st.allowed <- saved)
+          vbs
+    | _ -> ());
+    default_iterator.structure_item it si
+  in
+  { default_iterator with expr; value_binding; structure_item }
+
+(* ------------------------------------------------------------------ *)
+(* Entry points.                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let lint_structure ?(rules = Rule.all) ?(allowlist = Allowlist.empty) ~file structure =
+  let st =
+    {
+      file;
+      enabled = (fun r -> List.mem r rules);
+      allowlist;
+      allowed = [];
+      sorted = false;
+      findings = [];
+    }
+  in
+  let it = iterator st in
+  it.structure it structure;
+  List.sort Finding.compare st.findings
+
+let parse_lexbuf ~file lexbuf =
+  Location.init lexbuf file;
+  Parse.implementation lexbuf
+
+let lint_source ?rules ?allowlist ~file source =
+  match parse_lexbuf ~file (Lexing.from_string source) with
+  | structure ->
+      { findings = lint_structure ?rules ?allowlist ~file structure; errors = [] }
+  | exception exn -> { findings = []; errors = [ (file, Printexc.to_string exn) ] }
+
+let lint_file ?rules ?allowlist file =
+  match
+    let ic = open_in_bin file in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> parse_lexbuf ~file (Lexing.from_channel ic))
+  with
+  | structure ->
+      { findings = lint_structure ?rules ?allowlist ~file structure; errors = [] }
+  | exception exn -> { findings = []; errors = [ (file, Printexc.to_string exn) ] }
+
+let lint_files ?rules ?allowlist files =
+  List.fold_left (fun acc f -> merge acc (lint_file ?rules ?allowlist f)) no_report files

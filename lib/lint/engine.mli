@@ -1,0 +1,33 @@
+(** The analysis pass: parse an [.ml] with compiler-libs, walk the
+    Parsetree with [Ast_iterator], apply the {!Rule} set.
+
+    Heuristics (the pass is syntactic — no type information):
+    - {b nondet-iteration} recognises a fold piped straight into
+      [List.sort] (via [|>], [@@] or direct application) as sanitized;
+      anything else fires and must be sorted, restructured, or annotated.
+    - {b physical-equality} skips comparisons where either operand is an
+      integer or character literal (the idiomatic immediate-value cases).
+    - {b ambient-effects} exempts [sim/rng.ml], the sanctioned wrapper.
+    - {b mutable-global} only looks at structure-level bindings and stops
+      scanning at function boundaries.
+
+    Site suppression: attach [[@lint.allow "rule-id"]] to the offending
+    expression or [[@@lint.allow "rule-id"]] to its binding; several ids
+    may be comma-separated, and a bare [[@lint.allow]] allows all rules. *)
+
+type report = {
+  findings : Finding.t list;  (** sorted by {!Finding.compare} per file *)
+  errors : (string * string) list;  (** (file, unreadable / syntax error) *)
+}
+
+val lint_file : ?rules:Rule.id list -> ?allowlist:Allowlist.t -> string -> report
+(** Lint one file. [rules] defaults to {!Rule.all}. A file that cannot be
+    read or parsed yields an entry in [errors], never an exception. *)
+
+val lint_files : ?rules:Rule.id list -> ?allowlist:Allowlist.t -> string list -> report
+(** Lint files in order; findings concatenate in input order. *)
+
+val lint_source :
+  ?rules:Rule.id list -> ?allowlist:Allowlist.t -> file:string -> string -> report
+(** Lint source text directly (for tests); [file] is used for locations
+    and allowlist matching. *)

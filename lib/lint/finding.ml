@@ -1,0 +1,27 @@
+type t = { file : string; line : int; col : int; rule : string; message : string }
+
+let make ~file ~loc ~rule ~message =
+  let pos = loc.Location.loc_start in
+  {
+    file;
+    line = pos.Lexing.pos_lnum;
+    col = pos.Lexing.pos_cnum - pos.Lexing.pos_bol + 1;
+    rule;
+    message;
+  }
+
+let compare a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c else String.compare a.rule b.rule
+
+let to_text f = Printf.sprintf "%s:%d:%d: [%s] %s" f.file f.line f.col f.rule f.message
+
+let to_github f =
+  Printf.sprintf "::error file=%s,line=%d,col=%d,title=%s::%s" f.file f.line f.col f.rule
+    f.message

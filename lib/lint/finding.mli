@@ -1,0 +1,21 @@
+(** A single lint finding: a rule violation anchored at a source location. *)
+
+type t = {
+  file : string;  (** path as given to the engine *)
+  line : int;     (** 1-based *)
+  col : int;      (** 1-based *)
+  rule : string;  (** rule id, e.g. ["nondet-iteration"] *)
+  message : string;
+}
+
+val make : file:string -> loc:Location.t -> rule:string -> message:string -> t
+
+val compare : t -> t -> int
+(** Order by file, then line, col, rule — report order is deterministic. *)
+
+val to_text : t -> string
+(** [file:line:col: [rule] message]. *)
+
+val to_github : t -> string
+(** GitHub Actions workflow-command format ([::error file=...]) so CI
+    findings show up as inline annotations. *)

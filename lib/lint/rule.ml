@@ -1,0 +1,53 @@
+type id =
+  | Nondet_iteration
+  | Ambient_effects
+  | Io_in_library
+  | Physical_equality
+  | Mutable_global
+  | Exception_swallow
+
+let all =
+  [
+    Nondet_iteration;
+    Ambient_effects;
+    Io_in_library;
+    Physical_equality;
+    Mutable_global;
+    Exception_swallow;
+  ]
+
+let name = function
+  | Nondet_iteration -> "nondet-iteration"
+  | Ambient_effects -> "ambient-effects"
+  | Io_in_library -> "io-in-library"
+  | Physical_equality -> "physical-equality"
+  | Mutable_global -> "mutable-global"
+  | Exception_swallow -> "exception-swallow"
+
+let of_name s = List.find_opt (fun r -> name r = s) all
+
+let explanation = function
+  | Nondet_iteration ->
+      "Hashtbl.iter/fold enumerate bindings in unspecified hash order; a result that \
+       escapes into ordered output breaks byte-identical replay. Sort the result (the \
+       linter recognises `|> List.sort`) or annotate an order-insensitive reduction with \
+       [@lint.allow \"nondet-iteration\"]."
+  | Ambient_effects ->
+      "Random.*, Unix.*, Sys.time and exit read or mutate ambient process state; runs \
+       stop being a pure function of (scenario, seed). Thread Sim.Rng and engine time \
+       through explicitly."
+  | Io_in_library ->
+      "printf/print_* from library code writes to the process-global stdout, which \
+       interleaves nondeterministically across domains. Take a Format.formatter \
+       parameter and let bin/ or bench/ choose the sink."
+  | Physical_equality ->
+      "== / != compare addresses, not values; on boxed data the answer depends on \
+       allocation history, which parallel runs do not replay. Use = / <> or compare."
+  | Mutable_global ->
+      "A toplevel ref/Hashtbl/Buffer/... is shared by every run and every domain; \
+       concurrent batches race on it and sequential batches leak state between runs. \
+       Allocate per World/run instead."
+  | Exception_swallow ->
+      "`with _ ->` also swallows Stack_overflow, Out_of_memory and assertion failures, \
+       turning hard bugs into silent divergence. Match the specific exceptions you mean \
+       to handle."

@@ -1,0 +1,16 @@
+(** The rule set of the determinism & domain-safety pass. *)
+
+type id =
+  | Nondet_iteration   (** Hashtbl.iter/fold escaping into ordered output *)
+  | Ambient_effects    (** Random.* / Unix.* / Sys.time / exit in the zone *)
+  | Io_in_library      (** printf / print_* outside bin/, bench/ and designated printers *)
+  | Physical_equality  (** == / != on non-int operands *)
+  | Mutable_global     (** toplevel mutable state shared across domains *)
+  | Exception_swallow  (** [with _ ->] handlers *)
+
+val all : id list
+val name : id -> string
+val of_name : string -> id option
+
+val explanation : id -> string
+(** One-paragraph rationale, shown by [lint --list-rules]. *)

@@ -1,0 +1,33 @@
+(* The deterministic zone: every library that runs inside a simulation,
+   batch or model-checking pass, and must therefore be a pure function of
+   (scenario, seed). lib/stats is included because its tables/figures are
+   the ordered output the other rules protect; its two stdout printers
+   are allowlisted. lib/lint itself is host-side tooling and stays out. *)
+let default_dirs =
+  [
+    "lib/sim";
+    "lib/core";
+    "lib/net";
+    "lib/detector";
+    "lib/graph";
+    "lib/harness";
+    "lib/monitor";
+    "lib/stabilize";
+    "lib/baselines";
+    "lib/mcheck";
+    "lib/exec";
+    "lib/stats";
+  ]
+
+let is_ml f = Filename.check_suffix f ".ml"
+
+let ml_files_in dir =
+  match Sys.readdir dir with
+  | entries ->
+      Array.to_list entries
+      |> List.filter is_ml
+      |> List.sort String.compare
+      |> List.map (Filename.concat dir)
+  | exception Sys_error _ -> []
+
+let files ?(dirs = default_dirs) () = List.concat_map ml_files_in dirs

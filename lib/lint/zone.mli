@@ -1,0 +1,13 @@
+(** The deterministic zone — the directories whose [.ml] files the pass
+    scans by default. *)
+
+val default_dirs : string list
+(** [lib/sim], [lib/core], [lib/net], [lib/detector], [lib/graph],
+    [lib/harness], [lib/monitor], [lib/stabilize], [lib/baselines],
+    [lib/mcheck], [lib/exec] and [lib/stats] — everything a simulation
+    executes, relative to the repository root. *)
+
+val files : ?dirs:string list -> unit -> string list
+(** The [.ml] files directly under each directory, sorted within each
+    directory. Missing directories contribute nothing ([Sys_error] is
+    absorbed) so the linter can run from partial checkouts. *)

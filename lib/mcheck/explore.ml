@@ -86,11 +86,13 @@ type progress_result = {
 }
 
 let progress ?(max_states = 200_000) ~pid cfg =
-  (* Forward pass: enumerate the reachable graph with integer state ids. *)
+  (* Forward pass: enumerate the reachable graph with dense integer state
+     ids. Ids are interned in BFS order, and every later pass iterates
+     arrays in id order — the hash table is only ever probed for
+     membership, so no result depends on its iteration order. *)
   let ids : (string, int) Hashtbl.t = Hashtbl.create 4096 in
-  let succs_of : (int, int list) Hashtbl.t = Hashtbl.create 4096 in
-  let hungry : (int, unit) Hashtbl.t = Hashtbl.create 256 in
-  let eating : (int, unit) Hashtbl.t = Hashtbl.create 256 in
+  let succs_acc = ref [] in (* (id, successor ids), newest first *)
+  let hungry_acc = ref [] and eating_acc = ref [] in
   let queue = Queue.create () in
   let truncated = ref false in
   let intern state =
@@ -105,10 +107,10 @@ let progress ?(max_states = 200_000) ~pid cfg =
         else begin
           let id = Hashtbl.length ids in
           Hashtbl.add ids k id;
-          if (not (Model.crashed state pid)) && Model.phase state pid = `Hungry then
-            Hashtbl.add hungry id ();
-          if (not (Model.crashed state pid)) && Model.phase state pid = `Eating then
-            Hashtbl.add eating id ();
+          if not (Model.crashed state pid) then begin
+            if Model.phase state pid = `Hungry then hungry_acc := id :: !hungry_acc;
+            if Model.phase state pid = `Eating then eating_acc := id :: !eating_acc
+          end;
           Queue.add (state, id) queue;
           Some id
         end
@@ -119,21 +121,27 @@ let progress ?(max_states = 200_000) ~pid cfg =
     let succ_ids =
       List.filter_map (fun (_label, next) -> intern next) (Model.successors cfg state)
     in
-    Hashtbl.replace succs_of id succ_ids
+    succs_acc := (id, succ_ids) :: !succs_acc
   done;
-  (* Backward pass: which states can still lead to [pid] eating? *)
   let n = Hashtbl.length ids in
+  let succs_of = Array.make n [] in
+  List.iter (fun (id, succ_ids) -> succs_of.(id) <- succ_ids) !succs_acc;
+  let hungry = Array.make n false and eating = Array.make n false in
+  List.iter (fun id -> hungry.(id) <- true) !hungry_acc;
+  List.iter (fun id -> eating.(id) <- true) !eating_acc;
+  (* Backward pass: which states can still lead to [pid] eating? *)
   let preds = Array.make n [] in
-  Hashtbl.iter
+  Array.iteri
     (fun id succ_ids -> List.iter (fun s -> preds.(s) <- id :: preds.(s)) succ_ids)
     succs_of;
   let can_eat = Array.make n false in
   let back = Queue.create () in
-  Hashtbl.iter
-    (fun id () ->
+  for id = 0 to n - 1 do
+    if eating.(id) then begin
       can_eat.(id) <- true;
-      Queue.add id back)
-    eating;
+      Queue.add id back
+    end
+  done;
   while not (Queue.is_empty back) do
     let id = Queue.pop back in
     List.iter
@@ -144,11 +152,16 @@ let progress ?(max_states = 200_000) ~pid cfg =
         end)
       preds.(id)
   done;
-  let stuck = ref 0 in
-  Hashtbl.iter (fun id () -> if not can_eat.(id) then incr stuck) hungry;
+  let hungry_count = ref 0 and stuck = ref 0 in
+  for id = 0 to n - 1 do
+    if hungry.(id) then begin
+      incr hungry_count;
+      if not can_eat.(id) then incr stuck
+    end
+  done;
   {
     reachable = n;
-    hungry_states = Hashtbl.length hungry;
+    hungry_states = !hungry_count;
     stuck_states = !stuck;
     progress_complete = not !truncated;
   }

@@ -27,6 +27,7 @@ let durations t = List.rev_map (fun s -> s.served - s.started) t.completed
 let summary t = Stats.Summary.of_ints (durations t)
 
 let open_sessions t =
+  (* The sort is load-bearing: the fold enumerates in hash order. *)
   Hashtbl.fold
     (fun pid started acc ->
       if Net.Faults.is_crashed t.faults pid then acc else (pid, started) :: acc)
@@ -50,6 +51,7 @@ let response_series t ~bucket =
       let total, count = Option.value (Hashtbl.find_opt sums b) ~default:(0, 0) in
       Hashtbl.replace sums b (total + (s.served - s.started), count + 1))
     t.completed;
+  (* The sort is load-bearing: the fold enumerates buckets in hash order. *)
   Hashtbl.fold
     (fun b (total, count) acc ->
       (float_of_int (b * bucket), float_of_int total /. float_of_int count) :: acc)

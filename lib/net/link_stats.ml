@@ -15,6 +15,7 @@ type t = {
   n : int;
   dirs : (int * int, dir_counters) Hashtbl.t;
   edges : (int * int, edge_counters) Hashtbl.t;
+  mutable worst_watermark : int; (* running max over all edge watermarks *)
   mutable total_sent : int;
   per_dst_sent : int array;
   last_send_to : Sim.Time.t option array;
@@ -27,6 +28,7 @@ let create ~n =
     n;
     dirs = Hashtbl.create 64;
     edges = Hashtbl.create 64;
+    worst_watermark = 0;
     total_sent = 0;
     per_dst_sent = Array.make n 0;
     last_send_to = Array.make n None;
@@ -67,7 +69,10 @@ let record_send t ~src ~dst ~kind ~at =
   t.last_send_from.(src) <- Some at;
   let e = edge t src dst in
   e.e_in_flight <- e.e_in_flight + 1;
-  if e.e_in_flight > e.e_watermark then e.e_watermark <- e.e_in_flight;
+  if e.e_in_flight > e.e_watermark then begin
+    e.e_watermark <- e.e_in_flight;
+    if e.e_watermark > t.worst_watermark then t.worst_watermark <- e.e_watermark
+  end;
   let kf, kw = Option.value (Hashtbl.find_opt e.by_kind kind) ~default:(0, 0) in
   let kf = kf + 1 in
   Hashtbl.replace e.by_kind kind (kf, max kw kf);
@@ -96,21 +101,28 @@ let in_flight t ~src ~dst = (dir t src dst).in_flight
 let edge_in_flight t a b = (edge t a b).e_in_flight
 let edge_watermark t a b = (edge t a b).e_watermark
 
-let max_edge_watermark t =
-  Hashtbl.fold (fun _ e acc -> max acc e.e_watermark) t.edges 0
+let max_edge_watermark t = t.worst_watermark
+
+(* Deterministic snapshot of a hashtable: bindings sorted by key, so
+   nothing downstream ever sees hash order. *)
+let sorted_bindings tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let per_edge_watermarks t =
+  sorted_bindings t.edges |> List.map (fun (key, e) -> (key, e.e_watermark))
 
 let max_edge_watermark_by_kind t =
   let acc = Hashtbl.create 8 in
-  Hashtbl.iter
-    (fun _ e ->
-      Hashtbl.iter
-        (fun kind (_, kw) ->
+  List.iter
+    (fun (_, e) ->
+      List.iter
+        (fun (kind, (_, kw)) ->
           let cur = Option.value (Hashtbl.find_opt acc kind) ~default:0 in
           Hashtbl.replace acc kind (max cur kw))
-        e.by_kind)
-    t.edges;
-  Hashtbl.fold (fun k v l -> (k, v) :: l) acc []
-  |> List.sort (fun (a, _) (b, _) -> compare a b)
+        (sorted_bindings e.by_kind))
+    (sorted_bindings t.edges);
+  sorted_bindings acc
 
 let last_send_to t pid = t.last_send_to.(pid)
 

@@ -29,7 +29,13 @@ val edge_watermark : t -> int -> int -> int
 
 val max_edge_watermark : t -> int
 (** Maximum of {!edge_watermark} over all edges that ever carried
-    traffic. *)
+    traffic. O(1): maintained incrementally rather than by folding over
+    the edge table. *)
+
+val per_edge_watermarks : t -> ((int * int) * int) list
+(** Every edge that ever carried traffic with its in-flight watermark,
+    sorted by edge key [(min, max)] — per-edge summaries never surface in
+    hash order. *)
 
 val max_edge_watermark_by_kind : t -> (string * int) list
 (** For each message kind, the maximum per-edge in-flight watermark of

@@ -80,6 +80,10 @@ let to_csv t =
 
 let title t = t.title
 
+let pp ?width ?height ppf t =
+  Format.pp_print_string ppf (render ?width ?height t);
+  Format.pp_print_string ppf "\n"
+
 let print ?width ?height t =
   print_string (render ?width ?height t);
   print_newline ()

@@ -16,6 +16,10 @@ val add_series : t -> name:string -> (float * float) list -> unit
 val render : ?width:int -> ?height:int -> t -> string
 (** ASCII chart (default 72x16 plot area) followed by the data columns. *)
 
+val pp : ?width:int -> ?height:int -> Format.formatter -> t -> unit
+(** {!render} plus a trailing blank line, to the given formatter. Library
+    code reports through this; only executables pick a concrete sink. *)
+
 val print : ?width:int -> ?height:int -> t -> unit
 
 val to_csv : t -> string

@@ -72,6 +72,10 @@ let to_csv t =
   List.iter (function Rule -> () | Cells cells -> line cells) (List.rev t.rows);
   Buffer.contents buf
 
+let pp ppf t =
+  Format.pp_print_string ppf (render t);
+  Format.pp_print_string ppf "\n"
+
 let print t =
   print_string (render t);
   print_newline ()

@@ -20,6 +20,10 @@ val to_csv : t -> string
 (** Same data as RFC-4180-ish CSV (quotes doubled, cells with commas or
     quotes quoted). Separator rows are omitted. *)
 
+val pp : Format.formatter -> t -> unit
+(** [render] plus a trailing blank line, to the given formatter. Library
+    code reports through this; only executables pick a concrete sink. *)
+
 val print : t -> unit
 (** [render] to stdout followed by a blank line. *)
 

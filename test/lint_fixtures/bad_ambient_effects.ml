@@ -1,0 +1,9 @@
+(* Fixture: ambient-effects — every binding below reads or mutates
+   process-global state and must fire. *)
+let roll () = Random.int 6
+
+let wall_clock () = Unix.gettimeofday ()
+
+let cpu_seconds () = Sys.time ()
+
+let bail () = exit 1

@@ -1,0 +1,5 @@
+(* Fixture: exception-swallow — the wildcard handler fires; the
+   specific handler below must not. *)
+let quietly f = try f () with _ -> ()
+
+let lookup tbl k = try Some (Hashtbl.find tbl k) with Not_found -> None

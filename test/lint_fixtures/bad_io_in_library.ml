@@ -1,0 +1,4 @@
+(* Fixture: io-in-library — direct stdout writes from library code. *)
+let report n = Printf.printf "served %d\n" n
+
+let banner () = print_endline "=== report ==="

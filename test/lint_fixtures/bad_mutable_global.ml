@@ -1,0 +1,9 @@
+(* Fixture: mutable-global. The toplevel allocations fire; the
+   allocation inside a function happens per call and must not. *)
+let cache = Hashtbl.create 16
+
+let hits = ref 0
+
+let scratch = Array.make 64 0
+
+let fresh_table () = Hashtbl.create 16

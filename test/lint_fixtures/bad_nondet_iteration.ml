@@ -1,0 +1,8 @@
+(* Fixture: nondet-iteration. The bare fold and the iter escape in hash
+   order and must fire; the fold piped into List.sort must not. *)
+let edges tbl = Hashtbl.fold (fun k () acc -> k :: acc) tbl []
+
+let sorted_edges tbl =
+  Hashtbl.fold (fun k () acc -> k :: acc) tbl [] |> List.sort compare
+
+let visit_all f tbl = Hashtbl.iter (fun k v -> f k v) tbl

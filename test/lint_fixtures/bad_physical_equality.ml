@@ -1,0 +1,8 @@
+(* Fixture: physical-equality. The boxed comparisons fire; the
+   int-literal comparison is the idiomatic immediate case and must
+   not. *)
+let same_list a b = a == b
+
+let changed old_state new_state = old_state != new_state
+
+let is_zero n = n == 0

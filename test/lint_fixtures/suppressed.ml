@@ -1,0 +1,10 @@
+(* Fixture: every violation below carries a [@lint.allow] suppression,
+   so the whole file must lint clean. *)
+let interned = (Hashtbl.create 16 [@lint.allow "mutable-global"])
+
+let histogram tbl =
+  (Hashtbl.fold (fun _ v acc -> acc + v) tbl 0 [@lint.allow "nondet-iteration"])
+
+let quietly f = (try f () with _ -> ()) [@lint.allow "exception-swallow"]
+
+let debug_dump n = Printf.printf "%d\n" n [@@lint.allow "io-in-library"]

@@ -14,5 +14,6 @@ let () =
       ("stabilize", Test_stabilize.suite);
       ("harness", Test_harness.suite);
       ("mcheck", Test_mcheck.suite);
+      ("lint", Test_lint.suite);
       ("soak", Test_soak.suite);
     ]

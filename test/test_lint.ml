@@ -1,0 +1,121 @@
+(* The determinism & domain-safety lint (lib/lint): each fixture under
+   lint_fixtures/ must fire exactly the expected (rule, line) pairs, the
+   suppression fixture must be silent, and the real deterministic zone
+   must be clean after the PR-2 satellite fixes. *)
+
+let fixture name = Filename.concat "lint_fixtures" name
+
+let hits ?rules ?allowlist file =
+  let report = Lint.Engine.lint_file ?rules ?allowlist file in
+  Alcotest.(check (list string)) "no read/parse errors" [] (List.map fst report.errors);
+  List.map (fun (f : Lint.Finding.t) -> (f.rule, f.line)) report.findings
+
+let check_hits name expected actual =
+  Alcotest.(check (list (pair string int))) name expected actual
+
+let test_nondet () =
+  check_hits "bare fold and iter fire; sorted fold does not"
+    [ ("nondet-iteration", 3); ("nondet-iteration", 8) ]
+    (hits (fixture "bad_nondet_iteration.ml"))
+
+let test_ambient () =
+  check_hits "Random/Unix/Sys.time/exit all fire"
+    [
+      ("ambient-effects", 3);
+      ("ambient-effects", 5);
+      ("ambient-effects", 7);
+      ("ambient-effects", 9);
+    ]
+    (hits (fixture "bad_ambient_effects.ml"))
+
+let test_io () =
+  check_hits "printf and print_endline fire"
+    [ ("io-in-library", 2); ("io-in-library", 4) ]
+    (hits (fixture "bad_io_in_library.ml"))
+
+let test_physical_eq () =
+  check_hits "boxed == / != fire; int-literal comparison does not"
+    [ ("physical-equality", 4); ("physical-equality", 6) ]
+    (hits (fixture "bad_physical_equality.ml"))
+
+let test_mutable_global () =
+  check_hits "toplevel allocations fire; per-call allocation does not"
+    [ ("mutable-global", 3); ("mutable-global", 5); ("mutable-global", 7) ]
+    (hits (fixture "bad_mutable_global.ml"))
+
+let test_exception_swallow () =
+  check_hits "wildcard handler fires; Not_found handler does not"
+    [ ("exception-swallow", 3) ]
+    (hits (fixture "bad_exception_swallow.ml"))
+
+let test_suppressed () =
+  check_hits "[@lint.allow] silences every rule" [] (hits (fixture "suppressed.ml"))
+
+let test_rule_selection () =
+  (* With only io-in-library enabled, the ambient fixture is silent and
+     the io fixture still fires. *)
+  check_hits "disabled rules do not fire" []
+    (hits ~rules:[ Lint.Rule.Io_in_library ] (fixture "bad_ambient_effects.ml"));
+  check_hits "enabled rule still fires"
+    [ ("io-in-library", 2); ("io-in-library", 4) ]
+    (hits ~rules:[ Lint.Rule.Io_in_library ] (fixture "bad_io_in_library.ml"))
+
+let test_allowlist () =
+  let allowlist =
+    Lint.Allowlist.of_list [ ("io-in-library", fixture "bad_io_in_library.ml") ]
+  in
+  check_hits "allowlisted file is silent" [] (hits ~allowlist (fixture "bad_io_in_library.ml"));
+  check_hits "allowlist is per-rule"
+    [ ("ambient-effects", 3); ("ambient-effects", 5); ("ambient-effects", 7); ("ambient-effects", 9) ]
+    (hits ~allowlist (fixture "bad_ambient_effects.ml"))
+
+let test_rng_exemption () =
+  (* Random is sanctioned only inside a sim/rng.ml. *)
+  let source = "let roll () = Random.int 6\n" in
+  let clean = Lint.Engine.lint_source ~file:"lib/sim/rng.ml" source in
+  Alcotest.(check int) "sim/rng.ml may use Random" 0 (List.length clean.findings);
+  let dirty = Lint.Engine.lint_source ~file:"lib/net/rng_like.ml" source in
+  check_hits "elsewhere Random fires"
+    [ ("ambient-effects", 1) ]
+    (List.map (fun (f : Lint.Finding.t) -> (f.rule, f.line)) dirty.findings)
+
+let test_parse_error () =
+  let report = Lint.Engine.lint_source ~file:"broken.ml" "let = in" in
+  Alcotest.(check int) "syntax error reported, not raised" 1 (List.length report.errors)
+
+(* The real tree: the deterministic zone must be clean under the
+   repository allowlist. dune copies library sources next to the test
+   dir inside _build, so the zone is reachable at ../lib. *)
+let test_zone_clean () =
+  let dirs = List.map (Filename.concat "..") Lint.Zone.default_dirs in
+  let files = Lint.Zone.files ~dirs () in
+  if List.length files < 40 then () (* partial checkout: zone not materialised *)
+  else begin
+    let allowlist =
+      Lint.Allowlist.of_list
+        [ ("io-in-library", "lib/stats/table.ml"); ("io-in-library", "lib/stats/series.ml") ]
+    in
+    let report = Lint.Engine.lint_files ~allowlist files in
+    Alcotest.(check (list string))
+      "no parse errors in the zone" []
+      (List.map fst report.errors);
+    Alcotest.(check (list string))
+      "deterministic zone lints clean" []
+      (List.map Lint.Finding.to_text report.findings)
+  end
+
+let suite =
+  [
+    Alcotest.test_case "fixture: nondet-iteration" `Quick test_nondet;
+    Alcotest.test_case "fixture: ambient-effects" `Quick test_ambient;
+    Alcotest.test_case "fixture: io-in-library" `Quick test_io;
+    Alcotest.test_case "fixture: physical-equality" `Quick test_physical_eq;
+    Alcotest.test_case "fixture: mutable-global" `Quick test_mutable_global;
+    Alcotest.test_case "fixture: exception-swallow" `Quick test_exception_swallow;
+    Alcotest.test_case "fixture: [@lint.allow] suppression" `Quick test_suppressed;
+    Alcotest.test_case "rule selection (--rules)" `Quick test_rule_selection;
+    Alcotest.test_case "allowlist file semantics" `Quick test_allowlist;
+    Alcotest.test_case "sim/rng.ml Random exemption" `Quick test_rng_exemption;
+    Alcotest.test_case "parse errors are reported" `Quick test_parse_error;
+    Alcotest.test_case "deterministic zone is clean" `Quick test_zone_clean;
+  ]
