@@ -112,6 +112,27 @@ let resolve_detector = function
   | `Never -> Harness.Scenario.Never
   | `Unreliable -> Harness.Scenario.Unreliable { period = 1_500; duration = 150 }
 
+(* One CLI surface, one scenario shape: every subcommand that runs a
+   world builds it here. *)
+let make_scenario ~name ~topology ~seed ~horizon ~crashes ~detector ~algo ~contended =
+  {
+    Harness.Scenario.default with
+    name;
+    topology;
+    seed;
+    horizon;
+    algo;
+    detector = resolve_detector detector;
+    workload =
+      (if contended then Harness.Scenario.contended_workload
+       else Harness.Scenario.default_workload);
+    crashes =
+      (if crashes = 0 then Harness.Scenario.No_crashes
+       else
+         Harness.Scenario.Random_crashes
+           { count = crashes; from_t = horizon / 10; to_t = horizon / 2 });
+  }
+
 (* ------------------------------------------------------------------ *)
 (* run                                                                  *)
 (* ------------------------------------------------------------------ *)
@@ -151,33 +172,27 @@ let print_report (r : Harness.Run.report) =
   Printf.printf "invariants      : %s\n" (Option.value r.invariant_error ~default:"all executable lemmas held");
   Printf.printf "engine          : %d events processed\n" r.events_processed
 
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:
+          "Dump the run's metrics registry (traffic counters, daemon counters, wait \
+           histograms, engine gauges) after the report.")
+
 let run_cmd =
-  let go topology seed horizon crashes detector algo contended trace dot =
+  let go topology seed horizon crashes detector algo contended trace show_metrics dot =
     let scenario =
-      {
-        Harness.Scenario.default with
-        name = "cli";
-        topology;
-        seed;
-        horizon;
-        algo;
-        detector = resolve_detector detector;
-        workload =
-          (if contended then Harness.Scenario.contended_workload
-           else Harness.Scenario.default_workload);
-        crashes =
-          (if crashes = 0 then Harness.Scenario.No_crashes
-           else
-             Harness.Scenario.Random_crashes
-               { count = crashes; from_t = horizon / 10; to_t = horizon / 2 });
-      }
+      make_scenario ~name:"cli" ~topology ~seed ~horizon ~crashes ~detector ~algo ~contended
     in
     let tracer = Sim.Trace.create () in
     if trace then
       Sim.Trace.on_record tracer (fun record ->
           Format.printf "%a@." Sim.Trace.pp_record record);
-    let report = Harness.Run.run ~trace:tracer scenario in
+    let metrics = Obs.Metrics.create () in
+    let report = Harness.Run.run ~trace:tracer ~metrics scenario in
     print_report report;
+    if show_metrics then Format.printf "metrics:@.%a" Obs.Metrics.pp metrics;
     match dot with
     | None -> ()
     | Some path ->
@@ -197,7 +212,7 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run one dining scenario and report every paper metric.")
     Term.(
       const go $ topology_arg $ seed_arg $ horizon_arg $ crashes_arg $ detector_arg $ algo_arg
-      $ contended_arg $ trace_arg $ dot_arg)
+      $ contended_arg $ trace_arg $ metrics_arg $ dot_arg)
 
 (* ------------------------------------------------------------------ *)
 (* experiments                                                          *)
@@ -287,22 +302,8 @@ let batch_cmd =
   (* No --seed: the batch substitutes seeds 1..N by construction. *)
   let go topology horizon crashes detector algo contended seeds domains patience =
     let scenario =
-      {
-        Harness.Scenario.default with
-        name = "batch";
-        topology;
-        horizon;
-        algo;
-        detector = resolve_detector detector;
-        workload =
-          (if contended then Harness.Scenario.contended_workload
-           else Harness.Scenario.default_workload);
-        crashes =
-          (if crashes = 0 then Harness.Scenario.No_crashes
-           else
-             Harness.Scenario.Random_crashes
-               { count = crashes; from_t = horizon / 10; to_t = horizon / 2 });
-      }
+      make_scenario ~name:"batch" ~topology ~seed:Harness.Scenario.default.seed ~horizon
+        ~crashes ~detector ~algo ~contended
     in
     let a = Harness.Batch.run ~seeds ~domains ?patience scenario in
     Printf.printf "scenario : %s on %s, seeds 1..%d, horizon %d, %d domain(s)\n" scenario.name
@@ -317,6 +318,94 @@ let batch_cmd =
     Term.(
       const go $ topology_arg $ horizon_arg $ crashes_arg $ detector_arg $ algo_arg
       $ contended_arg $ seeds_arg $ domains_arg $ patience_arg)
+
+(* ------------------------------------------------------------------ *)
+(* trace / tracediff                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let trace_cmd =
+  let runs_arg =
+    Arg.(
+      value
+      & opt (positive_int "--runs") 1
+      & info [ "runs" ] ~docv:"N"
+          ~doc:"Number of runs to capture, at consecutive seeds starting from --seed.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the trace to $(docv) instead of stdout.")
+  in
+  let go topology seed horizon crashes detector algo contended runs domains out =
+    let capture k =
+      let seed = Int64.add seed (Int64.of_int k) in
+      let scenario =
+        make_scenario ~name:"trace" ~topology ~seed ~horizon ~crashes ~detector ~algo
+          ~contended
+      in
+      let tracer = Sim.Trace.collecting () in
+      let (_ : Harness.Run.report) = Harness.Run.run ~trace:tracer scenario in
+      let buf = Buffer.create 65536 in
+      Buffer.add_string buf
+        (Printf.sprintf "# daemon_sim trace: topology=%s algo=%s detector=%s seed=%Ld horizon=%d events=%d\n"
+           (Cgraph.Topology.name topology)
+           (Harness.Scenario.algo_name scenario.algo)
+           (Harness.Scenario.detector_name scenario.detector)
+           seed horizon (Obs.Recorder.count tracer));
+      Obs.Recorder.iter tracer (fun r -> Obs.Jsonl.append buf r);
+      Buffer.contents buf
+    in
+    (* Each run is a share-nothing world, so capture fans out across
+       domains; chunks come back in seed order, keeping the output
+       byte-identical for any --domains. *)
+    let chunks = Exec.Pool.with_pool ~domains (fun pool -> Exec.Pool.init pool runs capture) in
+    let contents = String.concat "" (Array.to_list chunks) in
+    match out with
+    | None -> print_string contents
+    | Some path ->
+        let oc = open_out path in
+        output_string oc contents;
+        close_out oc;
+        Printf.printf "wrote %s\n" path
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run scenarios under full tracing and export the structured event stream as \
+          JSONL (schedule/fire/cancel, send/deliver/drop, phases, suspicions, crashes). \
+          Byte-identical for equal seeds at any --domains; diff two exports with \
+          $(b,tracediff).")
+    Term.(
+      const go $ topology_arg $ seed_arg $ horizon_arg $ crashes_arg $ detector_arg $ algo_arg
+      $ contended_arg $ runs_arg $ domains_arg $ out_arg)
+
+let tracediff_cmd =
+  let file_arg pos_i docv =
+    Arg.(required & pos pos_i (some non_dir_file) None & info [] ~docv ~doc:"Exported JSONL trace.")
+  in
+  let context_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "context" ] ~docv:"N" ~doc:"Shared-prefix events to show before the divergence.")
+  in
+  let go a b context =
+    let read path = In_channel.with_open_bin path In_channel.input_all in
+    let la = Obs.Diff.lines (read a) and lb = Obs.Diff.lines (read b) in
+    match Obs.Diff.first_divergence ~context la lb with
+    | None -> Printf.printf "traces identical: %d events\n" (List.length la)
+    | Some d ->
+        Format.printf "%a@." Obs.Diff.pp d;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "tracediff"
+       ~doc:
+         "Compare two exported traces; report the first divergent event with context and \
+          exit 1, or exit 0 when byte-identical ('#' header lines ignored). The \
+          determinism self-check: traces of equal (scenario, seed) must be identical for \
+          any --domains.")
+    Term.(const go $ file_arg 0 "TRACE_A" $ file_arg 1 "TRACE_B" $ context_arg)
 
 (* ------------------------------------------------------------------ *)
 (* mcheck                                                               *)
@@ -444,6 +533,6 @@ let main =
          "Wait-free, eventually 2-bounded dining daemons with an eventually perfect \
           failure detector (Song & Pike, DSN 2007) — simulator, baselines, experiments \
           and model checker.")
-    [ run_cmd; batch_cmd; experiments_cmd; mcheck_cmd; stabilize_cmd ]
+    [ run_cmd; batch_cmd; trace_cmd; tracediff_cmd; experiments_cmd; mcheck_cmd; stabilize_cmd ]
 
 let () = exit (Cmd.eval main)

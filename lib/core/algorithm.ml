@@ -63,6 +63,7 @@ let send t ~src ~dst msg =
 
 let notify_phase t i =
   let p = proc t i in
+  Obs.Recorder.phase t.trace ~time:(now t) ~pid:i ~phase:(Types.phase_to_string p.phase);
   List.iter (fun f -> f i p.phase) t.listeners
 
 (* ------------------------------------------------------------------ *)
@@ -120,7 +121,6 @@ let try_actions t i =
         if !may_eat then begin
           p.phase <- Eating;
           p.eats <- p.eats + 1;
-          emit t i "eat" "";
           notify_phase t i
         end
       end
@@ -204,7 +204,6 @@ let become_hungry t i =
     let p = proc t i in
     if p.phase = Thinking then begin
       p.phase <- Hungry;
-      emit t i "hungry" "";
       notify_phase t i;
       try_actions t i
     end
@@ -232,7 +231,6 @@ let stop_eating t i =
             send t ~src:i ~dst:j Ack
           end)
         p.nbrs;
-      emit t i "think" "";
       notify_phase t i
     end
   end
@@ -242,7 +240,7 @@ let stop_eating t i =
 (* ------------------------------------------------------------------ *)
 
 let create ~engine ~faults ~graph ~delay ~rng ~detector ?colors ?(trace = Sim.Trace.create ())
-    ?(acks_per_session = 1) () =
+    ?metrics ?(acks_per_session = 1) () =
   if acks_per_session < 1 then invalid_arg "Algorithm.create: acks_per_session must be >= 1";
   let n = Cgraph.Graph.n graph in
   let colors =
@@ -297,6 +295,7 @@ let create ~engine ~faults ~graph ~delay ~rng ~detector ?colors ?(trace = Sim.Tr
         let w = wire t src dst (message_kind msg) in
         w.flying <- w.flying - 1;
         w.absorbed <- w.absorbed + 1)
+      ?metrics
       ~handler:(fun ~dst ~src msg -> dispatch t ~dst ~src msg)
       ()
   in

@@ -45,10 +45,13 @@ val create :
   detector:Fd.Detector.t ->
   ?colors:int array ->
   ?trace:Sim.Trace.t ->
+  ?metrics:Obs.Metrics.t ->
   ?acks_per_session:int ->
   unit ->
   t
-(** [colors] must be a proper coloring of [graph] (defaults to
+(** [metrics] is forwarded to the dining overlay's link statistics so its
+    traffic lands in the world's registry. [colors] must be a proper
+    coloring of [graph] (defaults to
     {!Cgraph.Coloring.greedy}); higher color = higher priority, per the
     paper. [acks_per_session] is the doorway fairness knob: a hungry
     process grants at most that many acks to each neighbor per hungry

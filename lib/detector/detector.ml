@@ -4,4 +4,6 @@ type t = {
   subscribe : (int -> unit) -> unit;
 }
 
-let notify listeners observer = List.iter (fun f -> f observer) !listeners
+(* Listeners are stored newest-first (O(1) subscribe); reverse at fire so
+   callbacks run in registration order. *)
+let notify listeners observer = List.iter (fun f -> f observer) (List.rev !listeners)

@@ -22,4 +22,6 @@ type t = {
 }
 
 val notify : (int -> unit) list ref -> int -> unit
-(** Helper for implementations: invoke all listeners for an observer. *)
+(** Helper for implementations: invoke all listeners for an observer, in
+    registration order. The list is expected to be maintained newest-first
+    (prepend on subscribe); [notify] reverses before firing. *)

@@ -19,7 +19,7 @@ let cell t observer target =
   | None -> invalid_arg "Heartbeat: not a neighbor pair"
 
 let create ~engine ~faults ~graph ~delay ~rng ?(period = 20) ?(initial_timeout = 30)
-    ?(bump = 25) () =
+    ?(bump = 25) ?metrics () =
   if period <= 0 || initial_timeout <= 0 || bump <= 0 then
     invalid_arg "Heartbeat.create: parameters must be positive";
   let t =
@@ -57,6 +57,8 @@ let create ~engine ~faults ~graph ~delay ~rng ?(period = 20) ?(initial_timeout =
                    t.mistakes <- t.mistakes + 1;
                    t.last_mistake <- Some now
                  end;
+                 Obs.Recorder.suspect (Sim.Engine.recorder engine) ~time:now ~observer
+                   ~target ~on:true;
                  Detector.notify t.listeners observer
                end
                else schedule_check observer target deadline
@@ -69,6 +71,8 @@ let create ~engine ~faults ~graph ~delay ~rng ?(period = 20) ?(initial_timeout =
     if c.suspected then begin
       c.suspected <- false;
       c.timeout <- c.timeout + bump;
+      Obs.Recorder.suspect (Sim.Engine.recorder engine) ~time:c.last_hb ~observer:dst
+        ~target:src ~on:false;
       Detector.notify t.listeners dst;
       schedule_check dst src (Sim.Time.add c.last_hb c.timeout)
     end
@@ -76,7 +80,7 @@ let create ~engine ~faults ~graph ~delay ~rng ?(period = 20) ?(initial_timeout =
   let net =
     Net.Network.create ~engine ~graph ~delay ~faults ~rng
       ~kind:(fun () -> "heartbeat")
-      ~handler ()
+      ?metrics ~handler ()
   in
   (* Sending side: each process broadcasts a heartbeat to its neighborhood
      every [period] ticks, with a per-process phase jitter. *)
@@ -94,7 +98,7 @@ let create ~engine ~faults ~graph ~delay ~rng ?(period = 20) ?(initial_timeout =
     {
       Detector.name = "heartbeat-evp";
       suspects = (fun ~observer ~target -> (cell t observer target).suspected);
-      subscribe = (fun f -> t.listeners := !(t.listeners) @ [ f ]);
+      subscribe = (fun f -> t.listeners := f :: !(t.listeners));
     }
   in
   (t, detector)

@@ -37,7 +37,11 @@ let create engine faults graph ?(detection_delay = 50) ?(false_positives = []) (
     let count = Option.value (Hashtbl.find_opt t.fp_active key) ~default:0 in
     Hashtbl.replace t.fp_active key (count + delta);
     let after = suspects t ~observer:(fst key) ~target:(snd key) in
-    if before <> after then Detector.notify t.listeners (fst key)
+    if before <> after then begin
+      Obs.Recorder.suspect (Sim.Engine.recorder engine) ~time:(Sim.Engine.now engine)
+        ~observer:(fst key) ~target:(snd key) ~on:after;
+      Detector.notify t.listeners (fst key)
+    end
   in
   List.iter
     (fun fp ->
@@ -55,7 +59,12 @@ let create engine faults graph ?(detection_delay = 50) ?(false_positives = []) (
                    if not (Hashtbl.mem t.permanent key) then begin
                      let before = suspects t ~observer:neighbor ~target:crashed in
                      Hashtbl.add t.permanent key ();
-                     if not before then Detector.notify t.listeners neighbor
+                     if not before then begin
+                       Obs.Recorder.suspect (Sim.Engine.recorder engine)
+                         ~time:(Sim.Engine.now engine) ~observer:neighbor ~target:crashed
+                         ~on:true;
+                       Detector.notify t.listeners neighbor
+                     end
                    end
                  end)))
         (Cgraph.Graph.neighbors graph crashed));
@@ -63,7 +72,7 @@ let create engine faults graph ?(detection_delay = 50) ?(false_positives = []) (
     {
       Detector.name = "oracle-evp";
       suspects = (fun ~observer ~target -> suspects t ~observer ~target);
-      subscribe = (fun f -> t.listeners := !(t.listeners) @ [ f ]);
+      subscribe = (fun f -> t.listeners := f :: !(t.listeners));
     }
   in
   (t, detector)

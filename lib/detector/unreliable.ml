@@ -9,7 +9,11 @@ let create engine faults graph rng ?(detection_delay = 50) ?(period = 2_000) ?(d
     let cur = Option.value (Hashtbl.find_opt fp_active key) ~default:false in
     if cur <> v then begin
       Hashtbl.replace fp_active key v;
-      if not (Hashtbl.mem permanent key) then Detector.notify listeners (fst key)
+      if not (Hashtbl.mem permanent key) then begin
+        Obs.Recorder.suspect (Sim.Engine.recorder engine) ~time:(Sim.Engine.now engine)
+          ~observer:(fst key) ~target:(snd key) ~on:v;
+        Detector.notify listeners (fst key)
+      end
     end
   in
   (* Recurrent false suspicion of every directed neighbor pair, forever
@@ -44,7 +48,12 @@ let create engine faults graph rng ?(detection_delay = 50) ?(period = 2_000) ?(d
                    if not (Hashtbl.mem permanent key) then begin
                      let before = Option.value (Hashtbl.find_opt fp_active key) ~default:false in
                      Hashtbl.add permanent key ();
-                     if not before then Detector.notify listeners neighbor
+                     if not before then begin
+                       Obs.Recorder.suspect (Sim.Engine.recorder engine)
+                         ~time:(Sim.Engine.now engine) ~observer:neighbor ~target:crashed
+                         ~on:true;
+                       Detector.notify listeners neighbor
+                     end
                    end
                  end)))
         (Cgraph.Graph.neighbors graph crashed));
@@ -54,5 +63,5 @@ let create engine faults graph rng ?(detection_delay = 50) ?(period = 2_000) ?(d
       (fun ~observer ~target ->
         Hashtbl.mem permanent (observer, target)
         || Option.value (Hashtbl.find_opt fp_active (observer, target)) ~default:false);
-    subscribe = (fun f -> listeners := !listeners @ [ f ]);
+    subscribe = (fun f -> listeners := f :: !listeners);
   }

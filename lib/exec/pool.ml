@@ -3,6 +3,7 @@ type batch = {
   n : int;
   next : int Atomic.t; (* next unclaimed task index *)
   completed : int Atomic.t; (* tasks finished (body returned or raised) *)
+  failures : (int * exn) list Atomic.t; (* raised bodies, by task index *)
 }
 
 type t = {
@@ -18,14 +19,19 @@ type t = {
 
 let default_domains () = max 1 (Domain.recommended_domain_count ())
 
-(* Claim unowned indices until the batch is exhausted. The task body never
-   raises (exceptions are captured at the [init] layer), so every claimed
-   index is eventually counted as completed. *)
+let rec push_failure failures i e =
+  let cur = Atomic.get failures in
+  if not (Atomic.compare_and_set failures cur ((i, e) :: cur)) then push_failure failures i e
+
+(* Claim unowned indices until the batch is exhausted. A raising body must
+   still count its index as completed, or the submitter waits on
+   [completed = n] forever — exceptions are captured per index and
+   re-raised (lowest index first) once the batch has drained. *)
 let drain t batch ~signal_finish =
   let rec loop () =
     let i = Atomic.fetch_and_add batch.next 1 in
     if i < batch.n then begin
-      batch.body i;
+      (try batch.body i with e -> push_failure batch.failures i e);
       let done_now = 1 + Atomic.fetch_and_add batch.completed 1 in
       if done_now = batch.n && signal_finish then begin
         Mutex.lock t.mutex;
@@ -84,14 +90,26 @@ let with_pool ?domains f =
   let t = create ?domains () in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
 
+let reraise_lowest failures =
+  match Atomic.get failures with
+  | [] -> ()
+  | first :: rest ->
+      let _, e =
+        List.fold_left (fun (bi, be) (i, e) -> if i < bi then (i, e) else (bi, be)) first rest
+      in
+      raise e
+
 let run_batch t n body =
   if n > 0 then begin
+    let failures = Atomic.make [] in
     if t.size <= 1 then
+      (* Same contract as the parallel path: every index runs even after a
+         failure, then the lowest-index exception is re-raised. *)
       for i = 0 to n - 1 do
-        body i
+        try body i with e -> push_failure failures i e
       done
     else begin
-      let batch = { body; n; next = Atomic.make 0; completed = Atomic.make 0 } in
+      let batch = { body; n; next = Atomic.make 0; completed = Atomic.make 0; failures } in
       Mutex.lock t.mutex;
       t.current <- Some batch;
       t.generation <- t.generation + 1;
@@ -105,7 +123,8 @@ let run_batch t n body =
       done;
       t.current <- None;
       Mutex.unlock t.mutex
-    end
+    end;
+    reraise_lowest failures
   end
 
 let init t n f =

@@ -37,6 +37,13 @@ val shutdown : t -> unit
 val with_pool : ?domains:int -> (t -> 'a) -> 'a
 (** [with_pool f] = create, run [f], always shutdown. *)
 
+val run_batch : t -> int -> (int -> unit) -> unit
+(** [run_batch pool n body] runs [body 0 .. body (n - 1)] across the pool
+    for effect and returns once all [n] indices have finished. A raising
+    body does not wedge the batch: every index still runs, and after the
+    batch drains the exception of the lowest-index failing task is
+    re-raised (matching {!init}). *)
+
 val init : t -> int -> (int -> 'a) -> 'a array
 (** [init pool n f] evaluates [f 0 .. f (n - 1)] across the pool and
     returns the results indexed as [Array.init n f] would. If any task

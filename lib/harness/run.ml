@@ -20,6 +20,7 @@ type report = World.report = {
   max_message_bits : int option;
   events_processed : int;
   horizon : Sim.Time.t;
+  metrics : Obs.Metrics.t;
 }
 
 let run = World.run

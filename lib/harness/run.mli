@@ -31,9 +31,11 @@ type report = World.report = {
   max_message_bits : int option;    (** Song-Pike only. *)
   events_processed : int;
   horizon : Sim.Time.t;
+  metrics : Obs.Metrics.t;
+      (** The world's metrics registry — see {!World.report}. *)
 }
 
-val run : ?trace:Sim.Trace.t -> Scenario.t -> report
+val run : ?trace:Sim.Trace.t -> ?metrics:Obs.Metrics.t -> Scenario.t -> report
 (** Execute the scenario to its horizon. Deterministic in the scenario. *)
 
 val throughput : report -> float

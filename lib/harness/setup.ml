@@ -26,7 +26,7 @@ let realise_crashes (s : Scenario.t) rng n =
       List.init count (fun k -> (pids.(k), Sim.Rng.int_in rng from_t (to_t - 1)))
       |> List.sort (fun (_, a) (_, b) -> compare a b)
 
-let make_detector (s : Scenario.t) ~engine ~faults ~graph ~rng =
+let make_detector (s : Scenario.t) ~engine ~faults ~graph ~rng ?metrics () =
   match s.detector with
   | Scenario.Never -> (Fd.Never.create (), (`Static Sim.Time.zero : detector_state))
   | Scenario.Perfect -> (Fd.Perfect.create engine faults graph, `Static Sim.Time.zero)
@@ -46,7 +46,7 @@ let make_detector (s : Scenario.t) ~engine ~faults ~graph ~rng =
       let hb, detector =
         Fd.Heartbeat.create ~engine ~faults ~graph ~delay:s.delay
           ~rng:(Sim.Rng.split_named rng "heartbeat")
-          ~period ~initial_timeout ~bump ()
+          ~period ~initial_timeout ~bump ?metrics ()
       in
       (detector, `Heartbeat hb)
   | Scenario.Unreliable { period; duration } ->
@@ -56,13 +56,13 @@ let make_detector (s : Scenario.t) ~engine ~faults ~graph ~rng =
           ~period ~duration ~horizon:s.horizon (),
         `Static Sim.Time.infinity )
 
-let make_instance (s : Scenario.t) ~engine ~faults ~graph ~detector ~rng ~trace =
+let make_instance (s : Scenario.t) ~engine ~faults ~graph ~detector ~rng ~trace ?metrics () =
   let net_rng = Sim.Rng.split_named rng "dining-net" in
   match s.algo with
   | Scenario.Song_pike ->
       let algo =
         Dining.Algorithm.create ~engine ~faults ~graph ~delay:s.delay ~rng:net_rng ~detector
-          ~trace ~acks_per_session:s.acks_per_session ()
+          ~trace ?metrics ~acks_per_session:s.acks_per_session ()
       in
       (Dining.Algorithm.instance algo, Dining.Algorithm.network_stats algo, Some algo)
   | Scenario.Fork_only ->
@@ -82,16 +82,16 @@ let make_instance (s : Scenario.t) ~engine ~faults ~graph ~detector ~rng ~trace 
       in
       (Baselines.Ordered.instance algo, Baselines.Ordered.network_stats algo, None)
 
-let build ?(trace = Sim.Trace.create ()) (s : Scenario.t) =
+let build ?(trace = Sim.Trace.create ()) ?metrics (s : Scenario.t) =
   let graph = Cgraph.Topology.build s.topology in
   let n = Cgraph.Graph.n graph in
-  let engine = Sim.Engine.create () in
+  let engine = Sim.Engine.create ~recorder:trace () in
   let faults = Net.Faults.create engine ~n in
   let rng = Sim.Rng.create s.seed in
   let crashed = realise_crashes s (Sim.Rng.split_named rng "crashes") n in
-  let detector, detector_state = make_detector s ~engine ~faults ~graph ~rng in
+  let detector, detector_state = make_detector s ~engine ~faults ~graph ~rng ?metrics () in
   let instance, link_stats, song_pike =
-    make_instance s ~engine ~faults ~graph ~detector ~rng ~trace
+    make_instance s ~engine ~faults ~graph ~detector ~rng ~trace ?metrics ()
   in
   List.iter
     (fun (pid, at) ->

@@ -17,9 +17,12 @@ type parts = {
   song_pike : Dining.Algorithm.t option;
 }
 
-val build : ?trace:Sim.Trace.t -> Scenario.t -> parts
+val build : ?trace:Sim.Trace.t -> ?metrics:Obs.Metrics.t -> Scenario.t -> parts
 (** Builds everything and schedules the crash plan (victims are watched in
-    [link_stats]). The engine has not run yet. *)
+    [link_stats]). The engine has not run yet. [trace] becomes the
+    engine's recorder, so structural event/message records flow into it
+    under full tracing; [metrics] is threaded to the dining and heartbeat
+    overlays' link statistics. *)
 
 val convergence : parts -> Sim.Time.t * int
 (** Post-run detector convergence time and (for heartbeat) mistake count. *)

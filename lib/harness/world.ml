@@ -2,6 +2,7 @@ type t = {
   scenario : Scenario.t;
   parts : Setup.parts;
   trace : Sim.Trace.t;
+  metrics : Obs.Metrics.t;
   exclusion : Monitor.Exclusion.t;
   fairness : Monitor.Fairness.t;
   response : Monitor.Response.t;
@@ -30,6 +31,7 @@ type report = {
   max_message_bits : int option;
   events_processed : int;
   horizon : Sim.Time.t;
+  metrics : Obs.Metrics.t;
 }
 
 (* Periodically run the daemon's executable-lemma check; stop after the
@@ -48,17 +50,24 @@ let watch_invariants ~engine ~horizon ~every (instance : Dining.Instance.t) =
   ignore (Sim.Engine.schedule_after engine ~delay:every check);
   error
 
-let create ?(trace = Sim.Trace.create ()) (s : Scenario.t) =
-  let parts = Setup.build ~trace s in
+let create ?(trace = Sim.Trace.create ()) ?(metrics = Obs.Metrics.create ()) (s : Scenario.t) =
+  let parts = Setup.build ~trace ~metrics s in
   let { Setup.engine; faults; graph; rng; instance; _ } = parts in
   let n = Cgraph.Graph.n graph in
   let exclusion = Monitor.Exclusion.attach engine graph faults instance in
   let fairness = Monitor.Fairness.attach engine graph faults instance in
   let response = Monitor.Response.attach engine faults instance in
-  let phases = Monitor.Phases.attach engine trace instance in
+  let phases = Monitor.Phases.attach ~metrics engine trace instance in
   let eats_per_process = Array.make n 0 in
+  let m_eats = Obs.Metrics.counter metrics "daemon.eats" in
+  let m_hungry = Obs.Metrics.counter metrics "daemon.hungry_sessions" in
   instance.add_listener (fun pid phase ->
-      if phase = Dining.Types.Eating then eats_per_process.(pid) <- eats_per_process.(pid) + 1);
+      match phase with
+      | Dining.Types.Eating ->
+          eats_per_process.(pid) <- eats_per_process.(pid) + 1;
+          Obs.Metrics.incr m_eats
+      | Dining.Types.Hungry -> Obs.Metrics.incr m_hungry
+      | Dining.Types.Thinking -> ());
   let workload =
     Workload.attach ~engine ~faults ~n
       ~rng:(Sim.Rng.split_named rng "workload")
@@ -73,6 +82,7 @@ let create ?(trace = Sim.Trace.create ()) (s : Scenario.t) =
     scenario = s;
     parts;
     trace;
+    metrics;
     exclusion;
     fairness;
     response;
@@ -93,6 +103,10 @@ let report (w : t) =
      try instance.check_invariants ()
      with Dining.Types.Invariant_violation msg -> w.invariant_error := Some msg);
   let convergence, detector_mistakes = Setup.convergence w.parts in
+  (* Point-in-time levels, refreshed on every report. *)
+  Obs.Metrics.set (Obs.Metrics.gauge w.metrics "engine.events") (Sim.Engine.processed engine);
+  Obs.Metrics.set (Obs.Metrics.gauge w.metrics "engine.pending") (Sim.Engine.pending engine);
+  Obs.Metrics.set (Obs.Metrics.gauge w.metrics "detector.mistakes") detector_mistakes;
   let max_footprint_bits, max_message_bits =
     match song_pike with
     | None -> (None, None)
@@ -122,10 +136,11 @@ let report (w : t) =
     max_message_bits;
     events_processed = Sim.Engine.processed engine;
     horizon = s.horizon;
+    metrics = w.metrics;
   }
 
-let run ?trace (s : Scenario.t) =
-  let w = create ?trace s in
+let run ?trace ?metrics (s : Scenario.t) =
+  let w = create ?trace ?metrics s in
   advance w ~until:s.horizon;
   report w
 

@@ -43,12 +43,19 @@ type report = {
   max_message_bits : int option;    (** Song-Pike only. *)
   events_processed : int;
   horizon : Sim.Time.t;
+  metrics : Obs.Metrics.t;
+      (** The world's metrics registry: [net.*] traffic counters
+          (dining + heartbeat overlays aggregated), [daemon.*] counters
+          and wait histograms, [engine.*] / [detector.*] gauges. *)
 }
 
-val create : ?trace:Sim.Trace.t -> Scenario.t -> t
+val create : ?trace:Sim.Trace.t -> ?metrics:Obs.Metrics.t -> Scenario.t -> t
 (** Build a fresh world: engine, network, detector, daemon, monitors and
     workload, with the crash plan scheduled and the invariant watcher
-    armed. Virtual time has not advanced yet. *)
+    armed. Virtual time has not advanced yet. [trace] becomes the
+    engine's recorder (capture it with {!Obs.Recorder.collecting} for
+    JSONL export); [metrics] is the registry every component registers
+    into (default: a fresh private one, available via the report). *)
 
 val advance : t -> until:Sim.Time.t -> unit
 (** Process events up to and including virtual time [until]. Advancing in
@@ -62,7 +69,7 @@ val report : t -> report
     has executed so far. Normally called once [advance] reached the
     scenario horizon. *)
 
-val run : ?trace:Sim.Trace.t -> Scenario.t -> report
+val run : ?trace:Sim.Trace.t -> ?metrics:Obs.Metrics.t -> Scenario.t -> report
 (** [create |> advance ~until:horizon |> report] — deterministic in the
     scenario: same scenario, same report, on any domain. *)
 

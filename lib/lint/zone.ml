@@ -5,6 +5,7 @@
    are allowlisted. lib/lint itself is host-side tooling and stays out. *)
 let default_dirs =
   [
+    "lib/obs";
     "lib/sim";
     "lib/core";
     "lib/net";

@@ -4,9 +4,12 @@ type t = {
   entered_at : (int, Sim.Time.t) Hashtbl.t;
   mutable doorway : int list;
   mutable fork : int list;
+  h_doorway : Obs.Metrics.histogram;
+  h_fork : Obs.Metrics.histogram;
 }
 
-let attach engine trace (instance : Dining.Instance.t) =
+let attach ?metrics engine trace (instance : Dining.Instance.t) =
+  let metrics = match metrics with Some m -> m | None -> Obs.Metrics.create () in
   let t =
     {
       engine;
@@ -14,6 +17,8 @@ let attach engine trace (instance : Dining.Instance.t) =
       entered_at = Hashtbl.create 16;
       doorway = [];
       fork = [];
+      h_doorway = Obs.Metrics.histogram metrics "daemon.doorway_wait";
+      h_fork = Obs.Metrics.histogram metrics "daemon.fork_wait";
     }
   in
   Sim.Trace.on_record trace (fun r ->
@@ -21,7 +26,8 @@ let attach engine trace (instance : Dining.Instance.t) =
         match Hashtbl.find_opt t.hungry_at r.subject with
         | Some started ->
             Hashtbl.replace t.entered_at r.subject r.time;
-            t.doorway <- (r.time - started) :: t.doorway
+            t.doorway <- (r.time - started) :: t.doorway;
+            Obs.Metrics.observe t.h_doorway (r.time - started)
         | None -> ()
       end);
   instance.add_listener (fun pid phase ->
@@ -33,7 +39,8 @@ let attach engine trace (instance : Dining.Instance.t) =
           match Hashtbl.find_opt t.entered_at pid with
           | Some entered ->
               Hashtbl.remove t.entered_at pid;
-              t.fork <- (now - entered) :: t.fork
+              t.fork <- (now - entered) :: t.fork;
+              Obs.Metrics.observe t.h_fork (now - entered)
           | None -> ())
       | Dining.Types.Thinking ->
           Hashtbl.remove t.hungry_at pid;

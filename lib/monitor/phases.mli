@@ -12,9 +12,11 @@
 
 type t
 
-val attach : Sim.Engine.t -> Sim.Trace.t -> Dining.Instance.t -> t
+val attach : ?metrics:Obs.Metrics.t -> Sim.Engine.t -> Sim.Trace.t -> Dining.Instance.t -> t
 (** Subscribes to the instance's transitions and the trace. Attaching
-    enables the trace. *)
+    enables the trace's light channel. Every completed wait is also
+    observed into the [daemon.doorway_wait] / [daemon.fork_wait]
+    histograms of [metrics] (default: a private registry). *)
 
 val doorway_waits : t -> int list
 (** Hungry -> doorway-entry latencies of completed phases, in ticks. *)

@@ -1,12 +1,16 @@
 type t = {
   engine : Sim.Engine.t;
   crash_at : Sim.Time.t array;
-  mutable listeners : (int -> unit) list;
+  (* The one live engine event per pending crash: rescheduling a crash
+     to an earlier time cancels the superseded event, so listeners
+     observe exactly one crash per pid. *)
+  pending : Sim.Engine.event_id option array;
+  mutable listeners : (int -> unit) list; (* newest first; fired in subscription order *)
 }
 
 let create engine ~n =
   if n <= 0 then invalid_arg "Faults.create: n must be positive";
-  { engine; crash_at = Array.make n Sim.Time.infinity; listeners = [] }
+  { engine; crash_at = Array.make n Sim.Time.infinity; pending = Array.make n None; listeners = [] }
 
 let n t = Array.length t.crash_at
 
@@ -14,10 +18,14 @@ let schedule_crash t ~pid ~at =
   if pid < 0 || pid >= n t then invalid_arg "Faults.schedule_crash: bad pid";
   if at < Sim.Engine.now t.engine then invalid_arg "Faults.schedule_crash: in the past";
   if at < t.crash_at.(pid) then begin
+    Option.iter (Sim.Engine.cancel t.engine) t.pending.(pid);
     t.crash_at.(pid) <- at;
-    ignore
-      (Sim.Engine.schedule t.engine ~at (fun () ->
-           List.iter (fun f -> f pid) t.listeners))
+    t.pending.(pid) <-
+      Some
+        (Sim.Engine.schedule t.engine ~at (fun () ->
+             t.pending.(pid) <- None;
+             Obs.Recorder.crash (Sim.Engine.recorder t.engine) ~time:at ~pid;
+             List.iter (fun f -> f pid) (List.rev t.listeners)))
   end
 
 let crash_time t pid = t.crash_at.(pid)
@@ -31,4 +39,4 @@ let crashed_by t time =
   done;
   !acc
 
-let on_crash t f = t.listeners <- t.listeners @ [ f ]
+let on_crash t f = t.listeners <- f :: t.listeners

@@ -31,4 +31,6 @@ val n : t -> int
 
 val on_crash : t -> (int -> unit) -> unit
 (** Register a callback invoked (in virtual time, at the crash instant)
-    whenever a process crashes. Used by oracles and monitors. *)
+    whenever a process crashes. Used by oracles and monitors. Callbacks
+    fire in registration order, exactly once per crashed pid — even when
+    the crash was rescheduled to an earlier time. *)

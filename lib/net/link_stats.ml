@@ -21,9 +21,15 @@ type t = {
   last_send_to : Sim.Time.t option array;
   last_send_from : Sim.Time.t option array;
   watched : (int, Sim.Time.t list ref) Hashtbl.t; (* dst -> send times, newest first *)
+  (* Registered in the world's metrics registry (or a private one when
+     the caller passes none): a counter bump per send/delivery/drop. *)
+  m_sent : Obs.Metrics.counter;
+  m_delivered : Obs.Metrics.counter;
+  m_dropped : Obs.Metrics.counter;
 }
 
-let create ~n =
+let create ~n ?metrics () =
+  let metrics = match metrics with Some m -> m | None -> Obs.Metrics.create () in
   {
     n;
     dirs = Hashtbl.create 64;
@@ -34,6 +40,9 @@ let create ~n =
     last_send_to = Array.make n None;
     last_send_from = Array.make n None;
     watched = Hashtbl.create 4;
+    m_sent = Obs.Metrics.counter metrics "net.sent";
+    m_delivered = Obs.Metrics.counter metrics "net.delivered";
+    m_dropped = Obs.Metrics.counter metrics "net.dropped";
   }
 
 let dir t src dst =
@@ -59,6 +68,7 @@ let watch_dst t dst =
   if not (Hashtbl.mem t.watched dst) then Hashtbl.add t.watched dst (ref [])
 
 let record_send t ~src ~dst ~kind ~at =
+  Obs.Metrics.incr t.m_sent;
   let d = dir t src dst in
   d.sent <- d.sent + 1;
   d.in_flight <- d.in_flight + 1;
@@ -89,11 +99,14 @@ let settle t ~src ~dst ~kind =
   Hashtbl.replace e.by_kind kind (kf - 1, kw)
 
 let record_delivery t ~src ~dst ~kind ~at:_ =
+  Obs.Metrics.incr t.m_delivered;
   let d = dir t src dst in
   d.delivered <- d.delivered + 1;
   settle t ~src ~dst ~kind
 
-let record_drop t ~src ~dst ~kind ~at:_ = settle t ~src ~dst ~kind
+let record_drop t ~src ~dst ~kind ~at:_ =
+  Obs.Metrics.incr t.m_dropped;
+  settle t ~src ~dst ~kind
 
 let sent t ~src ~dst = (dir t src dst).sent
 let delivered t ~src ~dst = (dir t src dst).delivered

@@ -9,7 +9,10 @@
 
 type t
 
-val create : n:int -> t
+val create : n:int -> ?metrics:Obs.Metrics.t -> unit -> t
+(** [metrics] — registry to register the [net.sent] / [net.delivered] /
+    [net.dropped] counters into (default: a private registry). Several
+    overlays sharing one registry aggregate into the same counters. *)
 
 val record_send : t -> src:int -> dst:int -> kind:string -> at:Sim.Time.t -> unit
 val record_delivery : t -> src:int -> dst:int -> kind:string -> at:Sim.Time.t -> unit

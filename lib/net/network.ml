@@ -8,13 +8,15 @@ type 'msg t = {
   on_drop : src:int -> dst:int -> 'msg -> unit;
   handler : dst:int -> src:int -> 'msg -> unit;
   stats : Link_stats.t;
+  recorder : Obs.Recorder.t;
+  tracing : bool ref; (* the recorder's live full-tracing flag *)
   (* FIFO enforcement: per directed channel, the latest delivery time
      handed out so far; later sends never deliver earlier. *)
   last_delivery : (int * int, Sim.Time.t) Hashtbl.t;
 }
 
 let create ~engine ~graph ~delay ~faults ~rng ?(kind = fun _ -> "msg")
-    ?(on_drop = fun ~src:_ ~dst:_ _ -> ()) ~handler () =
+    ?(on_drop = fun ~src:_ ~dst:_ _ -> ()) ?metrics ~handler () =
   {
     engine;
     graph;
@@ -24,7 +26,9 @@ let create ~engine ~graph ~delay ~faults ~rng ?(kind = fun _ -> "msg")
     kind;
     on_drop;
     handler;
-    stats = Link_stats.create ~n:(Cgraph.Graph.n graph);
+    stats = Link_stats.create ~n:(Cgraph.Graph.n graph) ?metrics ();
+    recorder = Sim.Engine.recorder engine;
+    tracing = Obs.Recorder.tracing_flag (Sim.Engine.recorder engine);
     last_delivery = Hashtbl.create 64;
   }
 
@@ -39,14 +43,17 @@ let send t ~src ~dst msg =
     let floor = Option.value (Hashtbl.find_opt t.last_delivery (src, dst)) ~default:Sim.Time.zero in
     let at = Sim.Time.max raw floor in
     Hashtbl.replace t.last_delivery (src, dst) at;
+    if !(t.tracing) then Obs.Recorder.send t.recorder ~time:now ~src ~dst ~tag:kind ~deliver_at:at;
     ignore
       (Sim.Engine.schedule t.engine ~at (fun () ->
            if Faults.is_crashed t.faults dst then begin
              Link_stats.record_drop t.stats ~src ~dst ~kind ~at;
+             if !(t.tracing) then Obs.Recorder.drop t.recorder ~time:at ~src ~dst ~tag:kind;
              t.on_drop ~src ~dst msg
            end
            else begin
              Link_stats.record_delivery t.stats ~src ~dst ~kind ~at;
+             if !(t.tracing) then Obs.Recorder.deliver t.recorder ~time:at ~src ~dst ~tag:kind;
              t.handler ~dst ~src msg
            end))
   end

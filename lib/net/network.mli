@@ -26,6 +26,7 @@ val create :
   rng:Sim.Rng.t ->
   ?kind:('msg -> string) ->
   ?on_drop:(src:int -> dst:int -> 'msg -> unit) ->
+  ?metrics:Obs.Metrics.t ->
   handler:(dst:int -> src:int -> 'msg -> unit) ->
   unit ->
   'msg t
@@ -34,7 +35,11 @@ val create :
     delivery time. [on_drop] is invoked instead of [handler] when a message
     reaches a crashed destination and is absorbed — protocols that must
     conserve resources carried by messages (forks, tokens) account for the
-    loss there. *)
+    loss there. [metrics] is forwarded to the overlay's {!Link_stats} so
+    its traffic counters land in the world's registry; overlays sharing a
+    registry aggregate into the same [net.*] counters. Under full tracing
+    (see {!Obs.Recorder}) every send, delivery and drop is recorded in the
+    engine's recorder. *)
 
 val send : 'msg t -> src:int -> dst:int -> 'msg -> unit
 (** Asynchronously send a message. [src] and [dst] must be adjacent in the

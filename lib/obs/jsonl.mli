@@ -1,0 +1,21 @@
+(** JSONL export of trace records.
+
+    One record per line, compact JSON, fixed field order — a
+    deterministic run exports a byte-identical file, which is what makes
+    {!Diff} meaningful. Lines starting with [#] are reserved for
+    human-readable headers (run metadata) and are ignored by the diff
+    tool. *)
+
+val append : Buffer.t -> Record.t -> unit
+(** Append one record as a newline-terminated JSON line. *)
+
+val to_line : Record.t -> string
+(** One record as a JSON line, without the trailing newline. *)
+
+val of_records : Record.t list -> string
+(** All records, one line each, each newline-terminated. *)
+
+val field_int : string -> string -> int option
+(** [field_int line name] scans a JSON line for an integer field, e.g.
+    [field_int l "t"] — enough to surface the time of a divergent line
+    without a full JSON parser. *)

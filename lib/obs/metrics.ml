@@ -1,0 +1,83 @@
+type counter = int ref
+type gauge = int ref
+
+type histogram = {
+  mutable count : int;
+  mutable sum : int;
+  mutable min_v : int;
+  mutable max_v : int;
+}
+
+type metric = Counter of counter | Gauge of gauge | Histogram of histogram
+
+type t = (string, metric) Hashtbl.t
+
+let create () : t = Hashtbl.create 16
+
+let kind_name = function Counter _ -> "counter" | Gauge _ -> "gauge" | Histogram _ -> "histogram"
+
+let register t name wanted make unwrap =
+  match Hashtbl.find_opt t name with
+  | None ->
+      let m = make () in
+      Hashtbl.add t name m;
+      (match unwrap m with Some v -> v | None -> assert false)
+  | Some m -> (
+      match unwrap m with
+      | Some v -> v
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Metrics: %S is a %s, not a %s" name (kind_name m) wanted))
+
+let counter t name =
+  register t name "counter"
+    (fun () -> Counter (ref 0))
+    (function Counter c -> Some c | _ -> None)
+
+let gauge t name =
+  register t name "gauge" (fun () -> Gauge (ref 0)) (function Gauge g -> Some g | _ -> None)
+
+let histogram t name =
+  register t name "histogram"
+    (fun () -> Histogram { count = 0; sum = 0; min_v = max_int; max_v = min_int })
+    (function Histogram h -> Some h | _ -> None)
+
+let incr ?(by = 1) (c : counter) = c := !c + by
+let counter_value (c : counter) = !c
+let set (g : gauge) v = g := v
+let gauge_value (g : gauge) = !g
+
+let observe h v =
+  h.count <- h.count + 1;
+  h.sum <- h.sum + v;
+  if v < h.min_v then h.min_v <- v;
+  if v > h.max_v then h.max_v <- v
+
+type value =
+  | Count of int
+  | Level of int
+  | Dist of { count : int; sum : int; min : int; max : int }
+
+let value_of = function
+  | Counter c -> Count !c
+  | Gauge g -> Level !g
+  | Histogram h -> Dist { count = h.count; sum = h.sum; min = h.min_v; max = h.max_v }
+
+let find t name = Option.map value_of (Hashtbl.find_opt t name)
+
+let dump t =
+  Hashtbl.fold (fun name m acc -> (name, value_of m) :: acc) t []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let pp_value ppf = function
+  | Count v -> Format.fprintf ppf "%d" v
+  | Level v -> Format.fprintf ppf "%d" v
+  | Dist { count = 0; _ } -> Format.fprintf ppf "count=0"
+  | Dist { count; sum; min; max } ->
+      Format.fprintf ppf "count=%d sum=%d min=%d max=%d mean=%.1f" count sum min max
+        (float_of_int sum /. float_of_int count)
+
+let pp ppf t =
+  Format.pp_open_vbox ppf 0;
+  List.iter (fun (name, v) -> Format.fprintf ppf "%-28s %a@," name pp_value v) (dump t);
+  Format.pp_close_box ppf ()

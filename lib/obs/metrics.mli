@@ -1,0 +1,43 @@
+(** Name-keyed metrics registry: counters, gauges and histograms.
+
+    One registry per simulated world (allocated in [Harness.World]),
+    replacing ad-hoc counters scattered through components: the network
+    layer registers its traffic counters, monitors register wait-time
+    histograms, and the harness publishes engine gauges at report time.
+    Handles are plain mutable cells, so the hot-path cost of a counter
+    bump is one integer store; all ordering happens at {!dump} time,
+    where names are sorted so output never surfaces hash order. *)
+
+type t
+
+type counter
+type gauge
+type histogram
+
+val create : unit -> t
+
+val counter : t -> string -> counter
+(** Get-or-create. Raises [Invalid_argument] if the name is already
+    registered as a different metric kind. *)
+
+val gauge : t -> string -> gauge
+val histogram : t -> string -> histogram
+
+val incr : ?by:int -> counter -> unit
+val counter_value : counter -> int
+val set : gauge -> int -> unit
+val gauge_value : gauge -> int
+val observe : histogram -> int -> unit
+
+type value =
+  | Count of int
+  | Level of int
+  | Dist of { count : int; sum : int; min : int; max : int }
+
+val find : t -> string -> value option
+val dump : t -> (string * value) list
+(** All metrics, sorted by name. *)
+
+val pp_value : Format.formatter -> value -> unit
+val pp : Format.formatter -> t -> unit
+(** One [name value] line per metric, sorted by name. *)

@@ -1,0 +1,54 @@
+type kind =
+  | Sched of { id : int; at : int }
+  | Fire of { id : int }
+  | Cancel of { id : int }
+  | Send of { src : int; dst : int; tag : string; deliver_at : int }
+  | Deliver of { src : int; dst : int; tag : string }
+  | Drop of { src : int; dst : int; tag : string }
+  | Phase of { pid : int; phase : string }
+  | Suspect of { observer : int; target : int; on : bool }
+  | Crash of { pid : int }
+  | Mark of { subject : int; tag : string; detail : string }
+
+type t = { seq : int; time : int; kind : kind }
+
+let structural = function
+  | Sched _ | Fire _ | Cancel _ | Send _ | Deliver _ | Drop _ -> true
+  | Phase _ | Suspect _ | Crash _ | Mark _ -> false
+
+let label = function
+  | Sched _ -> "sched"
+  | Fire _ -> "fire"
+  | Cancel _ -> "cancel"
+  | Send _ -> "send"
+  | Deliver _ -> "deliver"
+  | Drop _ -> "drop"
+  | Phase _ -> "phase"
+  | Suspect _ -> "suspect"
+  | Crash _ -> "crash"
+  | Mark _ -> "mark"
+
+let subject = function
+  | Sched _ | Fire _ | Cancel _ -> -1
+  | Send { src; _ } | Deliver { src; _ } | Drop { src; _ } -> src
+  | Phase { pid; _ } -> pid
+  | Suspect { observer; _ } -> observer
+  | Crash { pid } -> pid
+  | Mark { subject; _ } -> subject
+
+let pp ppf r =
+  Format.fprintf ppf "[%6d @%-8d] " r.seq r.time;
+  match r.kind with
+  | Sched { id; at } -> Format.fprintf ppf "sched   ev%d at %d" id at
+  | Fire { id } -> Format.fprintf ppf "fire    ev%d" id
+  | Cancel { id } -> Format.fprintf ppf "cancel  ev%d" id
+  | Send { src; dst; tag; deliver_at } ->
+      Format.fprintf ppf "send    %d->%d %s (deliver %d)" src dst tag deliver_at
+  | Deliver { src; dst; tag } -> Format.fprintf ppf "deliver %d->%d %s" src dst tag
+  | Drop { src; dst; tag } -> Format.fprintf ppf "drop    %d->%d %s" src dst tag
+  | Phase { pid; phase } -> Format.fprintf ppf "phase   p%d %s" pid phase
+  | Suspect { observer; target; on } ->
+      Format.fprintf ppf "suspect p%d %s p%d" observer (if on then "suspects" else "clears") target
+  | Crash { pid } -> Format.fprintf ppf "crash   p%d" pid
+  | Mark { subject; tag; detail } ->
+      Format.fprintf ppf "mark    p%d %s%s" subject tag (if detail = "" then "" else " " ^ detail)

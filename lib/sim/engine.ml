@@ -1,20 +1,37 @@
-type event = { mutable cancelled : bool; mutable fired : bool; action : unit -> unit }
+(* [state] packs the event id with its lifecycle flags so the record
+   stays at two fields — bit 0 = cancelled, bit 1 = fired, bits 2..
+   = id. Keeping the per-event allocation small matters: the engine
+   allocates one of these per scheduled event on the hot path. *)
+type event = { mutable state : int; action : unit -> unit }
+
+let cancelled_bit = 1
+let fired_bit = 2
+let id_of_state st = st lsr 2
+
 type event_id = event option
 
 type t = {
   mutable clock : Time.t;
   queue : event Pqueue.t;
   mutable processed : int;
+  mutable next_id : int;
+  recorder : Obs.Recorder.t;
+  tracing : bool ref; (* the recorder's live full-tracing flag *)
 }
 
-let create () =
+let create ?recorder () =
+  let recorder = match recorder with Some r -> r | None -> Obs.Recorder.create () in
   {
     clock = Time.zero;
-    queue = Pqueue.create ~dead:(fun ev -> ev.cancelled) ();
+    queue = Pqueue.create ~dead:(fun ev -> ev.state land cancelled_bit <> 0) ();
     processed = 0;
+    next_id = 0;
+    recorder;
+    tracing = Obs.Recorder.tracing_flag recorder;
   }
 
 let now t = t.clock
+let recorder t = t.recorder
 
 let schedule t ~at f =
   if at = Time.infinity then None
@@ -22,8 +39,13 @@ let schedule t ~at f =
     if at < t.clock then
       invalid_arg
         (Printf.sprintf "Engine.schedule: at=%d is in the past (now=%d)" at t.clock);
-    let ev = { cancelled = false; fired = false; action = f } in
+    let ev = { state = t.next_id lsl 2; action = f } in
+    t.next_id <- t.next_id + 1;
     Pqueue.add t.queue ~prio:at ev;
+    (* Call-site guard: the emission call is skipped entirely when full
+       tracing is off, keeping the hot path at one load + branch. *)
+    if !(t.tracing) then
+      Obs.Recorder.sched t.recorder ~time:t.clock ~id:(id_of_state ev.state) ~at;
     Some ev
   end
 
@@ -35,9 +57,11 @@ let cancel t id =
   | Some ev ->
       (* Count each still-queued event as dead at most once; cancelling a
          fired event must not skew the queue's husk accounting. *)
-      if not (ev.cancelled || ev.fired) then begin
-        ev.cancelled <- true;
-        Pqueue.note_dead t.queue
+      if ev.state land (cancelled_bit lor fired_bit) = 0 then begin
+        ev.state <- ev.state lor cancelled_bit;
+        Pqueue.note_dead t.queue;
+        if !(t.tracing) then
+          Obs.Recorder.cancel t.recorder ~time:t.clock ~id:(id_of_state ev.state)
       end
 
 let run t ~until =
@@ -50,10 +74,12 @@ let run t ~until =
         match Pqueue.pop t.queue with
         | None -> continue := false
         | Some (at, ev) ->
-            ev.fired <- true;
-            if not ev.cancelled then begin
+            let st = ev.state in
+            ev.state <- st lor fired_bit;
+            if st land cancelled_bit = 0 then begin
               t.clock <- at;
               t.processed <- t.processed + 1;
+              if !(t.tracing) then Obs.Recorder.fire t.recorder ~time:at ~id:(id_of_state st);
               ev.action ()
             end)
   done

@@ -10,10 +10,18 @@ type t
 type event_id
 (** Handle for cancelling a scheduled event. *)
 
-val create : unit -> t
+val create : ?recorder:Obs.Recorder.t -> unit -> t
+(** [create ~recorder ()] wires the engine's structural observability
+    hooks — a record per event scheduled, fired or cancelled — into the
+    given recorder (see {!Obs.Recorder}; defaults to a disabled one, in
+    which case each hook costs a single branch). *)
 
 val now : t -> Time.t
 (** Current virtual time. *)
+
+val recorder : t -> Obs.Recorder.t
+(** The recorder this engine (and every component built on it) emits
+    into — one per simulated world. *)
 
 val schedule : t -> at:Time.t -> (unit -> unit) -> event_id
 (** [schedule t ~at f] runs [f] when the clock reaches [at]. [at] must not

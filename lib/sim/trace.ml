@@ -1,32 +1,47 @@
+(* Compatibility façade over Obs.Recorder: the historical flat-record
+   view of the light channel. A Trace.t IS a recorder, so the same value
+   both feeds legacy sinks (monitors, --trace) and, when collecting,
+   captures the full typed stream for JSONL export. *)
+
 type record = { time : Time.t; subject : int; tag : string; detail : string }
 
-type t = {
-  mutable sinks : (record -> unit) list;
-  mutable collected : record list; (* newest first *)
-  mutable collect : bool;
-}
+type t = Obs.Recorder.t
 
-let create () = { sinks = []; collected = []; collect = false }
+let create () = Obs.Recorder.create ()
+let collecting () = Obs.Recorder.collecting ()
 
-let collecting () =
-  let t = create () in
-  t.collect <- true;
-  t
+(* Typed light records rendered as legacy rows. Phase tags keep their
+   historical names ("eat"/"think", not "eating"/"thinking") so existing
+   trace consumers and printed traces are unchanged. *)
+let legacy_view (r : Obs.Record.t) =
+  match r.kind with
+  | Obs.Record.Mark { subject; tag; detail } -> Some { time = r.time; subject; tag; detail }
+  | Obs.Record.Phase { pid; phase } ->
+      let tag = match phase with "eating" -> "eat" | "thinking" -> "think" | s -> s in
+      Some { time = r.time; subject = pid; tag; detail = "" }
+  | Obs.Record.Crash { pid } -> Some { time = r.time; subject = pid; tag = "crash"; detail = "" }
+  | Obs.Record.Suspect { observer; target; on } ->
+      Some
+        {
+          time = r.time;
+          subject = observer;
+          tag = (if on then "suspect" else "unsuspect");
+          detail = Printf.sprintf "p%d" target;
+        }
+  | _ -> None
 
-let on_record t f = t.sinks <- t.sinks @ [ f ]
-let enabled t = t.collect || t.sinks <> []
+let on_record t f =
+  Obs.Recorder.on_light t (fun r ->
+      match legacy_view r with Some lr -> f lr | None -> ())
 
-let emit t ~time ~subject ~tag detail =
-  if enabled t then begin
-    let r = { time; subject; tag; detail } in
-    if t.collect then t.collected <- r :: t.collected;
-    List.iter (fun f -> f r) t.sinks
-  end
+let enabled t = Obs.Recorder.enabled t
+
+let emit t ~time ~subject ~tag detail = Obs.Recorder.mark t ~time ~subject ~tag detail
 
 let emitf t ~time ~subject ~tag fmt =
   Format.kasprintf (fun detail -> emit t ~time ~subject ~tag detail) fmt
 
-let records t = List.rev t.collected
+let records t = List.filter_map legacy_view (Obs.Recorder.records t)
 
 let pp_record ppf r =
   Format.fprintf ppf "[%8s] p%-3d %-14s %s" (Time.to_string r.time) r.subject r.tag r.detail

@@ -1,27 +1,37 @@
-(** Structured trace of simulation events.
+(** Flat-record view of the simulation trace.
 
-    Components emit timestamped records; sinks either collect them for
-    post-hoc assertions (tests, monitors) or pretty-print them live
-    (examples, CLI). Tracing is off by default and costs one branch per
-    emission when disabled. *)
+    Historically the whole tracing subsystem; now a compatibility façade
+    over {!Obs.Recorder}, which holds the typed event stream. A
+    [Trace.t] {e is} a recorder: pass it to {!Engine.create} (the
+    harness does) and every component of that world emits typed records
+    into it; this module renders the light ones (marks, phase
+    transitions, crashes, suspicion flips) as flat
+    [{time; subject; tag; detail}] rows for sinks that want printable
+    lines — tests, monitors, examples and the CLI [--trace] flag.
+
+    Tracing is off by default and costs one branch per emission when
+    disabled. Structural records (engine and network internals) only
+    flow under full tracing — see {!Obs.Recorder}. *)
 
 type record = {
   time : Time.t;
   subject : int;  (** Process id the record is about, or -1 for global. *)
-  tag : string;   (** Short machine-readable category, e.g. ["eat_start"]. *)
+  tag : string;   (** Short machine-readable category, e.g. ["eat"]. *)
   detail : string;
 }
 
-type t
+type t = Obs.Recorder.t
 
 val create : unit -> t
 (** A disabled trace: emissions are dropped until a sink is attached. *)
 
 val collecting : unit -> t
-(** A trace that retains every record in memory (see {!records}). *)
+(** A trace that retains every typed record in memory (full tracing);
+    {!records} returns the light ones, {!Obs.Recorder.records} all. *)
 
 val on_record : t -> (record -> unit) -> unit
-(** Attach a callback sink; enables the trace. *)
+(** Attach a callback sink for light records; enables the trace. Sinks
+    fire in subscription order. *)
 
 val emit : t -> time:Time.t -> subject:int -> tag:string -> string -> unit
 val emitf :
@@ -30,7 +40,7 @@ val emitf :
 val enabled : t -> bool
 
 val records : t -> record list
-(** Records collected so far (oldest first); empty unless {!collecting}
-    was used. *)
+(** Light records collected so far (oldest first); empty unless
+    {!collecting} was used. *)
 
 val pp_record : Format.formatter -> record -> unit

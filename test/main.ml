@@ -2,6 +2,7 @@ let () =
   Alcotest.run "repro"
     [
       ("sim", Test_sim.suite);
+      ("obs", Test_obs.suite);
       ("exec", Test_exec.suite);
       ("graph", Test_graph.suite);
       ("net", Test_net.suite);

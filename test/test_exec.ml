@@ -55,6 +55,55 @@ let successive_batches () =
         if a <> Array.init n (fun i -> i + n) then Alcotest.failf "batch %d wrong" n
       done)
 
+(* Regression: a body raising inside [run_batch] used to skip the
+   completion count, leaving the submitter waiting on [completed = n]
+   forever. Run the batch on a helper domain and fail via watchdog
+   rather than hanging the whole suite if the deadlock comes back. *)
+let run_batch_exception_safe () =
+  let outcome = Atomic.make None in
+  let worker =
+    Domain.spawn (fun () ->
+        Exec.Pool.with_pool ~domains:4 (fun pool ->
+            let ran = Array.make 12 false in
+            let result =
+              try
+                Exec.Pool.run_batch pool 12 (fun i ->
+                    ran.(i) <- true;
+                    if i mod 3 = 1 then failwith (string_of_int i));
+                Error "no exception"
+              with Failure msg -> Ok (msg, Array.for_all Fun.id ran)
+            in
+            (* The pool survives a failing batch. *)
+            let again = Exec.Pool.init pool 5 Fun.id in
+            Atomic.set outcome (Some (result, again = [| 0; 1; 2; 3; 4 |]))))
+  in
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  while Atomic.get outcome = None && Unix.gettimeofday () < deadline do
+    Unix.sleepf 0.01
+  done;
+  match Atomic.get outcome with
+  | None -> Alcotest.fail "run_batch deadlocked on a raising body"
+  | Some (result, reusable) ->
+      Domain.join worker;
+      (match result with
+      | Ok (msg, all_ran) ->
+          check Alcotest.string "lowest-index exception" "1" msg;
+          check bool "every index still ran" true all_ran
+      | Error what -> Alcotest.failf "expected Failure, got %s" what);
+      check bool "pool reusable after failure" true reusable
+
+let run_batch_sequential_exception_safe () =
+  Exec.Pool.with_pool ~domains:1 (fun pool ->
+      let ran = Array.make 7 false in
+      (match
+         Exec.Pool.run_batch pool 7 (fun i ->
+             ran.(i) <- true;
+             if i = 2 || i = 5 then failwith (string_of_int i))
+       with
+      | () -> Alcotest.fail "expected an exception"
+      | exception Failure msg -> check Alcotest.string "lowest-index exception" "2" msg);
+      check bool "every index still ran" true (Array.for_all Fun.id ran))
+
 let matches_array_init =
   QCheck.Test.make ~name:"exec: init = Array.init for any size/domains" ~count:50
     QCheck.(pair (int_bound 200) (int_range 1 6))
@@ -71,5 +120,8 @@ let suite =
     Alcotest.test_case "pool: empty batch and size" `Quick empty_and_size;
     Alcotest.test_case "pool: shutdown idempotent" `Quick shutdown_idempotent;
     Alcotest.test_case "pool: many successive batches" `Quick successive_batches;
+    Alcotest.test_case "pool: run_batch survives raising bodies" `Quick run_batch_exception_safe;
+    Alcotest.test_case "pool: sequential run_batch survives raising bodies" `Quick
+      run_batch_sequential_exception_safe;
     QCheck_alcotest.to_alcotest matches_array_init;
   ]

@@ -47,6 +47,30 @@ let faults_notifies () =
   Sim.Engine.run_all engine;
   check bool "both notified in order" true (List.rev !crashes = [ (0, 10); (2, 30) ])
 
+(* Regression: rescheduling a crash earlier used to leave the original
+   crash event armed, so listeners fired a second time when it came due. *)
+let faults_rescheduled_crash_notifies_once () =
+  let engine = Sim.Engine.create () in
+  let faults = Net.Faults.create engine ~n:2 in
+  let crashes = ref [] in
+  Net.Faults.on_crash faults (fun pid -> crashes := (pid, Sim.Engine.now engine) :: !crashes);
+  Net.Faults.schedule_crash faults ~pid:0 ~at:100;
+  Net.Faults.schedule_crash faults ~pid:0 ~at:40;
+  Net.Faults.schedule_crash faults ~pid:0 ~at:200 (* later: ignored *);
+  Sim.Engine.run_all engine;
+  check bool "exactly one notification, at the earliest time" true (!crashes = [ (0, 40) ])
+
+let faults_listeners_fire_in_registration_order () =
+  let engine = Sim.Engine.create () in
+  let faults = Net.Faults.create engine ~n:1 in
+  let order = ref [] in
+  Net.Faults.on_crash faults (fun _ -> order := "first" :: !order);
+  Net.Faults.on_crash faults (fun _ -> order := "second" :: !order);
+  Net.Faults.schedule_crash faults ~pid:0 ~at:5;
+  Sim.Engine.run_all engine;
+  check (Alcotest.list Alcotest.string) "registration order" [ "first"; "second" ]
+    (List.rev !order)
+
 (* ------------------------------ Delay ------------------------------ *)
 
 let delay_bounds () =
@@ -161,7 +185,7 @@ let network_in_flight_messages_survive_sender_crash () =
 (* ---------------------------- Link_stats --------------------------- *)
 
 let link_stats_watermarks () =
-  let stats = Net.Link_stats.create ~n:3 in
+  let stats = Net.Link_stats.create ~n:3 () in
   Net.Link_stats.record_send stats ~src:0 ~dst:1 ~kind:"a" ~at:1;
   Net.Link_stats.record_send stats ~src:1 ~dst:0 ~kind:"b" ~at:2;
   Net.Link_stats.record_send stats ~src:0 ~dst:1 ~kind:"a" ~at:3;
@@ -174,7 +198,7 @@ let link_stats_watermarks () =
   check (Alcotest.list (Alcotest.pair Alcotest.string int)) "per kind" [ ("a", 2); ("b", 1) ] by_kind
 
 let link_stats_watched_windows () =
-  let stats = Net.Link_stats.create ~n:2 in
+  let stats = Net.Link_stats.create ~n:2 () in
   Net.Link_stats.watch_dst stats 1;
   List.iter (fun at -> Net.Link_stats.record_send stats ~src:0 ~dst:1 ~kind:"m" ~at) [ 5; 15; 25; 35 ];
   check int "window [10,30)" 2 (Net.Link_stats.sends_to_in_window stats ~dst:1 ~from_t:10 ~to_t:30);
@@ -184,7 +208,7 @@ let link_stats_watched_windows () =
     (fun () -> ignore (Net.Link_stats.sends_to_after stats ~dst:0 ~after:0))
 
 let link_stats_last_send () =
-  let stats = Net.Link_stats.create ~n:3 in
+  let stats = Net.Link_stats.create ~n:3 () in
   check bool "none initially" true (Net.Link_stats.last_send_to stats 1 = None);
   Net.Link_stats.record_send stats ~src:0 ~dst:1 ~kind:"m" ~at:7;
   Net.Link_stats.record_send stats ~src:1 ~dst:2 ~kind:"m" ~at:9;
@@ -196,6 +220,10 @@ let suite =
     Alcotest.test_case "faults: schedule and query" `Quick faults_basics;
     Alcotest.test_case "faults: earliest crash wins" `Quick faults_earliest_wins;
     Alcotest.test_case "faults: crash notifications" `Quick faults_notifies;
+    Alcotest.test_case "faults: rescheduled crash notifies once" `Quick
+      faults_rescheduled_crash_notifies_once;
+    Alcotest.test_case "faults: listeners fire in registration order" `Quick
+      faults_listeners_fire_in_registration_order;
     Alcotest.test_case "delay: bounds per model" `Quick delay_bounds;
     Alcotest.test_case "delay: partial synchrony" `Quick delay_partial_synchrony;
     Alcotest.test_case "network: delivers" `Quick network_delivers;
