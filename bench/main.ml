@@ -166,6 +166,61 @@ let run_mc () =
   print_endline
     "note: 'complete = yes' rows exhaust every reachable interleaving; capped rows\n\
      verify the explored prefix. No violation is the expected result on every row.\n";
+  (* BFS vs sleep-set DPOR: same states, same verdict, fewer transitions.
+     The reduction factor grows with the number of non-adjacent process
+     pairs (pair has none: every pair of actions interferes). *)
+  let reduction_table =
+    Stats.Table.create ~title:"MC: BFS vs DPOR (sleep-set partial-order reduction)"
+      ~columns:
+        [
+          ("instance", Stats.Table.Left);
+          ("sessions", Stats.Table.Right);
+          ("crashes", Stats.Table.Right);
+          ("fp", Stats.Table.Right);
+          ("states", Stats.Table.Right);
+          ("bfs trans", Stats.Table.Right);
+          ("dpor trans", Stats.Table.Right);
+          ("reduction", Stats.Table.Right);
+          ("bfs s", Stats.Table.Right);
+          ("dpor s", Stats.Table.Right);
+        ]
+  in
+  List.iter
+    (fun (label, graph, colors, sessions, crash_budget, fp_budget, max_states) ->
+      let cfg = { Mcheck.Model.graph; colors; sessions; crash_budget; fp_budget } in
+      let timed f =
+        let t0 = Sys.time () in
+        let r = f () in
+        (r, Sys.time () -. t0)
+      in
+      let b, bfs_t = timed (fun () -> Mcheck.Explore.bfs ~max_states cfg) in
+      let d, dpor_t = timed (fun () -> Mcheck.Dpor.explore ~max_states cfg) in
+      assert (b.Mcheck.Explore.states = d.Mcheck.Explore.states);
+      assert (b.violation = None && d.violation = None);
+      Stats.Table.add_row reduction_table
+        [
+          label;
+          Stats.Table.cell_int sessions;
+          Stats.Table.cell_int crash_budget;
+          Stats.Table.cell_int fp_budget;
+          Stats.Table.cell_int b.states;
+          Stats.Table.cell_int b.transitions;
+          Stats.Table.cell_int d.transitions;
+          Printf.sprintf "%.2fx" (float_of_int b.transitions /. float_of_int d.transitions);
+          Printf.sprintf "%.2f" bfs_t;
+          Printf.sprintf "%.2f" dpor_t;
+        ])
+    [
+      ("pair", pair, [| 0; 1 |], 2, 0, 0, 300_000);
+      ("pair", pair, [| 0; 1 |], 2, 1, 2, 300_000);
+      ("path-3", path3, [| 0; 1; 0 |], 1, 0, 0, 300_000);
+      ("path-3", path3, [| 0; 1; 0 |], 1, 1, 0, 300_000);
+      ("triangle", tri, [| 0; 1; 2 |], 1, 0, 0, 300_000);
+    ];
+  Stats.Table.print reduction_table;
+  print_endline
+    "note: identical state counts and verdicts are asserted per row; DPOR explores the\n\
+     same space through fewer interleavings. Wall-clock is a single measurement.\n";
   (* Liveness in possibility form (Theorem 2): from every reachable state
      in which a process is hungry and live, some continuation eats. *)
   let progress_table =

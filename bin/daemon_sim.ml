@@ -4,6 +4,7 @@
      run          one dining scenario, human-readable report
      experiments  the reproduction suite (E1..E12, F1..F5)
      mcheck       exhaustive model checking of small instances
+     check        systematic checking: DPOR / parallel frontier / replay
      stabilize    a self-stabilizing protocol driven by the daemon *)
 
 open Cmdliner
@@ -411,34 +412,43 @@ let tracediff_cmd =
 (* mcheck                                                               *)
 (* ------------------------------------------------------------------ *)
 
+let instance_arg =
+  Arg.(
+    value
+    & opt
+        (Arg.enum [ ("pair", `Pair); ("path3", `Path3); ("triangle", `Triangle); ("ring4", `Ring4) ])
+        `Pair
+    & info [ "i"; "instance" ] ~docv:"INST" ~doc:"Instance: pair, path3, triangle, ring4.")
+
+let instance_name = function
+  | `Pair -> "pair"
+  | `Path3 -> "path3"
+  | `Triangle -> "triangle"
+  | `Ring4 -> "ring4"
+
+let resolve_instance = function
+  | `Pair -> (Cgraph.Graph.of_edges ~n:2 [ (0, 1) ], [| 0; 1 |])
+  | `Path3 -> (Cgraph.Graph.of_edges ~n:3 [ (0, 1); (1, 2) ], [| 0; 1; 0 |])
+  | `Triangle -> (Cgraph.Graph.of_edges ~n:3 [ (0, 1); (1, 2); (0, 2) ], [| 0; 1; 2 |])
+  | `Ring4 -> (Cgraph.Graph.of_edges ~n:4 [ (0, 1); (1, 2); (2, 3); (3, 0) ], [| 0; 1; 0; 1 |])
+
+let sessions_arg =
+  Arg.(value & opt int 2 & info [ "sessions" ] ~docv:"N" ~doc:"Hungry sessions per process.")
+
+let crash_arg =
+  Arg.(value & opt int 0 & info [ "crash-budget" ] ~docv:"N" ~doc:"Crashes allowed.")
+
+let fp_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "fp-budget" ] ~docv:"N" ~doc:"False-suspicion output changes allowed.")
+
+let max_states_arg =
+  Arg.(value & opt int 500_000 & info [ "max-states" ] ~docv:"N" ~doc:"State-count cap.")
+
 let mcheck_cmd =
-  let instance_arg =
-    Arg.(
-      value
-      & opt (Arg.enum [ ("pair", `Pair); ("path3", `Path3); ("triangle", `Triangle) ]) `Pair
-      & info [ "i"; "instance" ] ~docv:"INST" ~doc:"Instance: pair, path3, triangle.")
-  in
-  let sessions_arg =
-    Arg.(value & opt int 2 & info [ "sessions" ] ~docv:"N" ~doc:"Hungry sessions per process.")
-  in
-  let crash_arg =
-    Arg.(value & opt int 0 & info [ "crash-budget" ] ~docv:"N" ~doc:"Crashes allowed.")
-  in
-  let fp_arg =
-    Arg.(
-      value & opt int 0
-      & info [ "fp-budget" ] ~docv:"N" ~doc:"False-suspicion output changes allowed.")
-  in
-  let max_states_arg =
-    Arg.(value & opt int 500_000 & info [ "max-states" ] ~docv:"N" ~doc:"State-count cap.")
-  in
   let go instance sessions crash_budget fp_budget max_states =
-    let graph, colors =
-      match instance with
-      | `Pair -> (Cgraph.Graph.of_edges ~n:2 [ (0, 1) ], [| 0; 1 |])
-      | `Path3 -> (Cgraph.Graph.of_edges ~n:3 [ (0, 1); (1, 2) ], [| 0; 1; 0 |])
-      | `Triangle -> (Cgraph.Graph.of_edges ~n:3 [ (0, 1); (1, 2); (0, 2) ], [| 0; 1; 2 |])
-    in
+    let graph, colors = resolve_instance instance in
     let r =
       Mcheck.Explore.bfs ~max_states
         { Mcheck.Model.graph; colors; sessions; crash_budget; fp_budget }
@@ -452,6 +462,136 @@ let mcheck_cmd =
          "Exhaustively model-check Algorithm 1 on a small instance (lemmas, channel bound, \
           and — with no false-positive budget — weak exclusion).")
     Term.(const go $ instance_arg $ sessions_arg $ crash_arg $ fp_arg $ max_states_arg)
+
+(* ------------------------------------------------------------------ *)
+(* check                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let check_cmd =
+  let max_depth_arg =
+    Arg.(
+      value & opt int max_int
+      & info [ "max-depth" ] ~docv:"N" ~doc:"Schedule/level depth cap (default: unbounded).")
+  in
+  let dpor_arg =
+    Arg.(
+      value & flag
+      & info [ "dpor" ]
+          ~doc:
+            "Depth-first search with sleep-set partial-order reduction: same states, same \
+             verdict, fewer transitions than the BFS modes.")
+  in
+  let pb_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "preemption-bound" ] ~docv:"K"
+          ~doc:
+            "With $(b,--dpor): prune schedules using more than $(docv) preemptions \
+             (bug-finding mode; the result is reported incomplete if the bound pruned \
+             anything).")
+  in
+  let inject_arg =
+    Arg.(
+      value
+      & opt (Arg.enum [ ("none", `None); ("eating", `Eating) ]) `None
+      & info [ "inject" ] ~docv:"WHAT"
+          ~doc:
+            "Inject an artificial invariant violation for exercising the counterexample \
+             pipeline: $(b,eating) flags any state where a live process eats (reachable \
+             in every sound run).")
+  in
+  let export_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "export" ] ~docv:"FILE"
+          ~doc:"On a violation, write the counterexample schedule to $(docv) as JSONL.")
+  in
+  let replay_arg =
+    Arg.(
+      value
+      & opt (some non_dir_file) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:
+            "Replay the schedule in $(docv) (a $(b,--export) file) instead of exploring; \
+             exits 1 only if the schedule does not apply to this instance.")
+  in
+  let go instance sessions crash_budget fp_budget max_states max_depth dpor preemption_bound
+      domains inject export replay =
+    let graph, colors = resolve_instance instance in
+    let cfg = { Mcheck.Model.graph; colors; sessions; crash_budget; fp_budget } in
+    let check =
+      match inject with
+      | `None -> None
+      | `Eating ->
+          Some
+            (fun cfg s ->
+              let n = Cgraph.Graph.n cfg.Mcheck.Model.graph in
+              let rec go i =
+                if i >= n then None
+                else if (not (Mcheck.Model.crashed s i)) && Mcheck.Model.phase s i = `Eating
+                then Some (Printf.sprintf "injected: process %d eating" i)
+                else go (i + 1)
+              in
+              go 0)
+    in
+    Printf.printf "instance : %s, sessions=%d, crash-budget=%d, fp-budget=%d%s\n"
+      (instance_name instance) sessions crash_budget fp_budget
+      (match inject with `None -> "" | `Eating -> ", inject=eating");
+    match replay with
+    | Some path ->
+        let labels = Mcheck.Replay.of_jsonl (In_channel.with_open_bin path In_channel.input_all) in
+        Printf.printf "replay   : %s (%d steps)\n" path (List.length labels);
+        let outcome = Mcheck.Replay.run ?check cfg labels in
+        Format.printf "outcome  : %a@." Mcheck.Replay.pp_outcome outcome;
+        (match outcome with Mcheck.Replay.Stuck _ -> exit 1 | _ -> ())
+    | None ->
+        (* The mode line deliberately omits the domain count: reports of
+           the same exploration at different --domains diff clean. *)
+        let mode, r =
+          if dpor then
+            ( "dfs + sleep sets"
+              ^ (match preemption_bound with
+                | Some k -> Printf.sprintf ", preemption bound %d" k
+                | None -> ""),
+              Mcheck.Dpor.explore ~max_states ~max_depth ?preemption_bound ?check cfg )
+          else
+            ( "parallel frontier bfs",
+              Mcheck.Frontier.explore ~max_states ~max_depth ~domains ?check cfg )
+        in
+        Printf.printf "mode     : %s\n" mode;
+        Format.printf "result   : %a@." Mcheck.Explore.pp_result r;
+        (match (r.violation, r.trace) with
+        | Some _, Some trace -> (
+            Printf.printf "schedule : %s\n" (String.concat " " trace);
+            match export with
+            | None -> ()
+            | Some path ->
+                let header =
+                  Printf.sprintf
+                    "daemon_sim check counterexample: instance=%s sessions=%d \
+                     crash-budget=%d fp-budget=%d steps=%d"
+                    (instance_name instance) sessions crash_budget fp_budget
+                    (List.length trace)
+                in
+                let oc = open_out path in
+                output_string oc (Mcheck.Replay.to_jsonl ~header trace);
+                close_out oc;
+                Printf.printf "wrote    : %s\n" path)
+        | _ -> ());
+        if r.violation <> None then exit 1
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Systematic model checking with budgets: parallel frontier BFS (bit-identical \
+          for any --domains) or DPOR ($(b,--dpor)), counterexample schedules exported as \
+          JSONL and replayed deterministically with $(b,--replay).")
+    Term.(
+      const go $ instance_arg $ sessions_arg $ crash_arg $ fp_arg $ max_states_arg
+      $ max_depth_arg $ dpor_arg $ pb_arg $ domains_arg $ inject_arg $ export_arg
+      $ replay_arg)
 
 (* ------------------------------------------------------------------ *)
 (* stabilize                                                            *)
@@ -533,6 +673,6 @@ let main =
          "Wait-free, eventually 2-bounded dining daemons with an eventually perfect \
           failure detector (Song & Pike, DSN 2007) — simulator, baselines, experiments \
           and model checker.")
-    [ run_cmd; batch_cmd; trace_cmd; tracediff_cmd; experiments_cmd; mcheck_cmd; stabilize_cmd ]
+    [ run_cmd; batch_cmd; trace_cmd; tracediff_cmd; experiments_cmd; mcheck_cmd; check_cmd; stabilize_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -5,78 +5,119 @@ type result = {
   complete : bool;
   violation : (string * string) option;
   deadlocks : int;
+  trace : string list option;
 }
 
-let bfs ?(max_states = 200_000) ?(max_depth = max_int) cfg =
-  let visited : (string, unit) Hashtbl.t = Hashtbl.create 4096 in
+(* Walk parent pointers (id -> parent id * incoming label) back to the
+   root and return the schedule root -> violating state. *)
+let rebuild_trace parents id =
+  let rec go id acc =
+    match Hashtbl.find_opt parents id with
+    | None -> acc
+    | Some (parent, label) -> go parent (label :: acc)
+  in
+  go id []
+
+let bfs ?(max_states = 200_000) ?(max_depth = max_int) ?check cfg =
+  let check = match check with Some f -> f | None -> Model.check in
+  let interned = Intern.create () in
+  let parents : (int, int * string) Hashtbl.t = Hashtbl.create 4096 in
   let queue = Queue.create () in
-  let states = ref 0 in
   let transitions = ref 0 in
   let depth = ref 0 in
   let violation = ref None in
+  let vio_id = ref (-1) in
   let truncated = ref false in
   let deadlocks = ref 0 in
-  let enqueue d state =
+  let enqueue d parent label state =
     let k = Model.key state in
-    if not (Hashtbl.mem visited k) then begin
-      if Hashtbl.length visited >= max_states then truncated := true
-      else begin
-        Hashtbl.add visited k ();
-        incr states;
-        if d > !depth then depth := d;
-        (match Model.check cfg state with
-        | Some msg -> violation := Some (msg, Model.describe state)
-        | None -> ());
-        Queue.add (state, d) queue
-      end
+    if not (Intern.mem interned k) then begin
+      if Intern.count interned >= max_states then truncated := true
+      else
+        match Intern.add interned k with
+        | `Seen _ -> ()
+        | `New id ->
+            if parent >= 0 then Hashtbl.add parents id (parent, label);
+            if d > !depth then depth := d;
+            (match check cfg state with
+            | Some msg ->
+                violation := Some (msg, Model.describe state);
+                vio_id := id
+            | None -> ());
+            Queue.add (state, id, d) queue
     end
   in
-  enqueue 0 (Model.initial cfg);
-  (try
-     while (not (Queue.is_empty queue)) && !violation = None do
-       let state, d = Queue.pop queue in
-       if d < max_depth then begin
-         let succs = Model.successors cfg state in
-         if succs = [] && Model.hungry_live_process cfg state <> None then incr deadlocks;
-         List.iter
-           (fun (_label, next) ->
-             incr transitions;
-             if !violation = None then enqueue (d + 1) next)
-           succs
-       end
-       else truncated := true
-     done
-   with Model.Model_violation msg -> violation := Some (msg, "(during delivery)"));
+  enqueue 0 (-1) "" (Model.initial cfg);
+  while (not (Queue.is_empty queue)) && !violation = None do
+    let state, id, d = Queue.pop queue in
+    match Model.successors cfg state with
+    | exception Model.Model_violation msg ->
+        violation := Some (msg, "(during delivery)");
+        vio_id := id
+    | [] -> if Model.hungry_live_process cfg state <> None then incr deadlocks
+    | succs ->
+        if d < max_depth then
+          List.iter
+            (fun (label, next) ->
+              incr transitions;
+              if !violation = None then enqueue (d + 1) id label next)
+            succs
+        else
+          (* At the depth cap: expand only to learn whether anything
+             unexplored lies beyond it. A state whose successors are all
+             already visited does not make the search incomplete. *)
+          List.iter
+            (fun (_label, next) ->
+              incr transitions;
+              if not (Intern.mem interned (Model.key next)) then truncated := true)
+            succs
+  done;
   {
-    states = !states;
+    states = Intern.count interned;
     transitions = !transitions;
     depth = !depth;
     complete = (not !truncated) && !violation = None;
     violation = !violation;
     deadlocks = !deadlocks;
+    trace = (if !vio_id >= 0 then Some (rebuild_trace parents !vio_id) else None);
   }
 
+type reach_result = Found of int | Unreachable | Truncated
+
 let reach ?(max_states = 200_000) ?(max_depth = max_int) ~pred cfg =
-  let visited : (string, unit) Hashtbl.t = Hashtbl.create 4096 in
+  let interned = Intern.create () in
   let queue = Queue.create () in
   let found = ref None in
+  let truncated = ref false in
   let enqueue d state =
     if !found = None && pred state then found := Some d
     else begin
       let k = Model.key state in
-      if (not (Hashtbl.mem visited k)) && Hashtbl.length visited < max_states then begin
-        Hashtbl.add visited k ();
-        Queue.add (state, d) queue
+      if not (Intern.mem interned k) then begin
+        if Intern.count interned >= max_states then truncated := true
+        else begin
+          ignore (Intern.add interned k);
+          Queue.add (state, d) queue
+        end
       end
     end
   in
   enqueue 0 (Model.initial cfg);
   while (not (Queue.is_empty queue)) && !found = None do
     let state, d = Queue.pop queue in
-    if d < max_depth then
-      List.iter (fun (_label, next) -> enqueue (d + 1) next) (Model.successors cfg state)
+    let succs = Model.successors cfg state in
+    if d < max_depth then List.iter (fun (_label, next) -> enqueue (d + 1) next) succs
+    else
+      (* Depth-capped frontier: anything unexplored beyond it means a
+         negative answer cannot be trusted. *)
+      List.iter
+        (fun (_label, next) ->
+          if not (Intern.mem interned (Model.key next)) then truncated := true)
+        succs
   done;
-  !found
+  match !found with
+  | Some d -> Found d
+  | None -> if !truncated then Truncated else Unreachable
 
 type progress_result = {
   reachable : int;
@@ -88,32 +129,32 @@ type progress_result = {
 let progress ?(max_states = 200_000) ~pid cfg =
   (* Forward pass: enumerate the reachable graph with dense integer state
      ids. Ids are interned in BFS order, and every later pass iterates
-     arrays in id order — the hash table is only ever probed for
+     arrays in id order — the intern table is only ever probed for
      membership, so no result depends on its iteration order. *)
-  let ids : (string, int) Hashtbl.t = Hashtbl.create 4096 in
+  let ids = Intern.create () in
   let succs_acc = ref [] in (* (id, successor ids), newest first *)
   let hungry_acc = ref [] and eating_acc = ref [] in
   let queue = Queue.create () in
   let truncated = ref false in
   let intern state =
     let k = Model.key state in
-    match Hashtbl.find_opt ids k with
+    match Intern.find_opt ids k with
     | Some id -> Some id
     | None ->
-        if Hashtbl.length ids >= max_states then begin
+        if Intern.count ids >= max_states then begin
           truncated := true;
           None
         end
-        else begin
-          let id = Hashtbl.length ids in
-          Hashtbl.add ids k id;
-          if not (Model.crashed state pid) then begin
-            if Model.phase state pid = `Hungry then hungry_acc := id :: !hungry_acc;
-            if Model.phase state pid = `Eating then eating_acc := id :: !eating_acc
-          end;
-          Queue.add (state, id) queue;
-          Some id
-        end
+        else
+          match Intern.add ids k with
+          | `Seen id -> Some id
+          | `New id ->
+              if not (Model.crashed state pid) then begin
+                if Model.phase state pid = `Hungry then hungry_acc := id :: !hungry_acc;
+                if Model.phase state pid = `Eating then eating_acc := id :: !eating_acc
+              end;
+              Queue.add (state, id) queue;
+              Some id
   in
   ignore (intern (Model.initial cfg));
   while not (Queue.is_empty queue) do
@@ -123,7 +164,7 @@ let progress ?(max_states = 200_000) ~pid cfg =
     in
     succs_acc := (id, succ_ids) :: !succs_acc
   done;
-  let n = Hashtbl.length ids in
+  let n = Intern.count ids in
   let succs_of = Array.make n [] in
   List.iter (fun (id, succ_ids) -> succs_of.(id) <- succ_ids) !succs_acc;
   let hungry = Array.make n false and eating = Array.make n false in
@@ -172,15 +213,23 @@ type walk_result = {
   walk_violation : (string * string) option;
 }
 
-let random_walk ?(walks = 64) ?(steps = 400) ~seed cfg =
+let random_walk ?(walks = 64) ?(steps = 400) ?check ~seed cfg =
+  let check = match check with Some f -> f | None -> Model.check in
   let rng = Sim.Rng.create seed in
   let steps_taken = ref 0 in
   let violation = ref None in
   let walks_done = ref 0 in
+  (* The initial state is on every walk; check it once (BFS checks it
+     via its depth-0 enqueue — a walker that skips it would silently
+     miss a violation in [Model.initial]). *)
+  let init = Model.initial cfg in
+  (match check cfg init with
+  | Some msg -> violation := Some (msg, Model.describe init)
+  | None -> ());
   (try
      while !walks_done < walks && !violation = None do
        incr walks_done;
-       let state = ref (Model.initial cfg) in
+       let state = ref init in
        let continue = ref true in
        let remaining = ref steps in
        while !continue && !remaining > 0 && !violation = None do
@@ -190,7 +239,7 @@ let random_walk ?(walks = 64) ?(steps = 400) ~seed cfg =
          | succs ->
              let _, next = List.nth succs (Sim.Rng.int rng (List.length succs)) in
              incr steps_taken;
-             (match Model.check cfg next with
+             (match check cfg next with
              | Some msg -> violation := Some (msg, Model.describe next)
              | None -> ());
              state := next
@@ -204,4 +253,8 @@ let pp_result ppf r =
     r.transitions r.depth r.complete r.deadlocks
     (match r.violation with
     | None -> "no violation"
-    | Some (msg, state) -> Printf.sprintf "VIOLATION: %s in [%s]" msg state)
+    | Some (msg, state) ->
+        Printf.sprintf "VIOLATION: %s in [%s]%s" msg state
+          (match r.trace with
+          | Some t -> Printf.sprintf " after %d steps" (List.length t)
+          | None -> ""))

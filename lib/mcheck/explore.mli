@@ -13,19 +13,51 @@ type result = {
           process is still hungry — a stuck diner no event can ever wake.
           Wait-freedom predicts 0; a terminal state where everyone is
           thinking is just a finished run, not a deadlock. *)
+  trace : string list option;
+      (** When a violation was found: the schedule (transition labels)
+          from the initial state to the violating state, replayable with
+          {!Replay.run}. For a violation raised inside a delivery
+          handler the trace leads to the state being expanded. *)
 }
 
-val bfs : ?max_states:int -> ?max_depth:int -> Model.config -> result
+val rebuild_trace : (int, int * string) Hashtbl.t -> int -> string list
+(** Walk parent pointers (state id -> parent id * incoming label) back to
+    the root: the schedule from the initial state to [id]. Shared by the
+    exploration engines ({!bfs}, {!Frontier.explore}). *)
+
+val bfs :
+  ?max_states:int ->
+  ?max_depth:int ->
+  ?check:(Model.config -> Model.state -> string option) ->
+  Model.config ->
+  result
 (** Defaults: [max_states = 200_000], [max_depth = max_int]. Exploration
-    stops early on the first violation. *)
+    stops early on the first violation. A state popped at the depth cap
+    only marks the search incomplete when it actually has unexplored
+    successors, so a model whose diameter equals [max_depth] is still
+    reported complete. [?check] substitutes the per-state invariant
+    (default {!Model.check}) — used to inject target predicates as
+    violations for counterexample/replay testing. *)
 
 val pp_result : Format.formatter -> result -> unit
 
+type reach_result =
+  | Found of int  (** a state satisfying the predicate exists at this depth *)
+  | Unreachable
+      (** the {e fully explored} reachable space contains no such state —
+          trustworthy, the search was not cut short *)
+  | Truncated
+      (** the search hit [max_states]/[max_depth] first; absence of the
+          target is unknown. A capped search must never report
+          [Unreachable]. *)
+
 val reach :
-  ?max_states:int -> ?max_depth:int -> pred:(Model.state -> bool) -> Model.config -> int option
-(** BFS until a state satisfying [pred] is found; returns its depth, or
-    [None] if the (possibly truncated) reachable space contains no such
-    state. Used for liveness sanity — e.g. "process 0 can reach eating". *)
+  ?max_states:int ->
+  ?max_depth:int ->
+  pred:(Model.state -> bool) ->
+  Model.config ->
+  reach_result
+(** BFS until a state satisfying [pred] is found; returns its depth. *)
 
 type progress_result = {
   reachable : int;       (** states in the explored graph *)
@@ -50,8 +82,14 @@ type walk_result = {
 }
 
 val random_walk :
-  ?walks:int -> ?steps:int -> seed:int64 -> Model.config -> walk_result
+  ?walks:int ->
+  ?steps:int ->
+  ?check:(Model.config -> Model.state -> string option) ->
+  seed:int64 ->
+  Model.config ->
+  walk_result
 (** Monte-Carlo exploration for instances too large for exhaustive BFS:
     [walks] (default 64) independent uniformly random paths of up to
-    [steps] (default 400) transitions each, checking every visited state.
-    Sound for bug-finding (any reported violation is real), not complete. *)
+    [steps] (default 400) transitions each, checking every visited state
+    — including the initial one, which every walk shares. Sound for
+    bug-finding (any reported violation is real), not complete. *)

@@ -1,0 +1,138 @@
+(* Level-synchronous BFS with the expansion step fanned out across an
+   Exec.Pool. Determinism is by construction:
+
+   - each level is an array of (state, id) in discovery order; it is
+     split into contiguous chunks, and chunk expansion is pure (fresh
+     state copies, no shared mutable data);
+   - Exec.Pool.init returns chunk results in chunk-index order, so
+     concatenating them re-creates exactly the successor stream a
+     sequential expansion of the level would produce;
+   - interning, parent recording, invariant verdicts and truncation all
+     happen in the sequential merge over that stream.
+
+   Hence states, transitions, depth, deadlocks, the chosen violation and
+   its schedule are bit-identical for any [domains], and — on runs
+   without a violation — identical to [Explore.bfs] field for field
+   (with a violation, BFS stops mid-level while the frontier finishes
+   merging its level, so only the verdict is shared). *)
+
+type expansion =
+  | Poisoned of int * string (* parent id, Model_violation message *)
+  | Expanded of int * bool * (string * Model.state * string * string option) list
+      (* parent id, parent-is-hungry-live-terminal,
+         (label, successor, key, invariant verdict) per successor *)
+
+let chunk_bounds len chunks =
+  (* contiguous, in-order slices covering [0, len) *)
+  let base = len / chunks and extra = len mod chunks in
+  List.init chunks (fun c ->
+      let lo = (c * base) + min c extra in
+      let hi = lo + base + if c < extra then 1 else 0 in
+      (lo, hi))
+
+let explore ?(max_states = 200_000) ?(max_depth = max_int) ?(domains = 1) ?check cfg =
+  let check = match check with Some f -> f | None -> Model.check in
+  Exec.Pool.with_pool ~domains (fun pool ->
+      let interned = Intern.create () in
+      let parents : (int, int * string) Hashtbl.t = Hashtbl.create 4096 in
+      let transitions = ref 0 in
+      let depth = ref 0 in
+      let violation = ref None in
+      let vio_id = ref (-1) in
+      let truncated = ref false in
+      let deadlocks = ref 0 in
+      let init = Model.initial cfg in
+      ignore (Intern.add interned (Model.key init));
+      (match check cfg init with
+      | Some msg ->
+          violation := Some (msg, Model.describe init);
+          vio_id := 0
+      | None -> ());
+      let level = ref [| (init, 0) |] in
+      let d = ref 0 in
+      while Array.length !level > 0 && !violation = None do
+        let arr = !level in
+        let nchunks = max 1 (min (Array.length arr) (Exec.Pool.size pool)) in
+        let bounds = Array.of_list (chunk_bounds (Array.length arr) nchunks) in
+        (* Parallel part: successor generation, canonical keys and
+           invariant checks — everything per-state and pure. *)
+        let chunks =
+          Exec.Pool.init pool nchunks (fun c ->
+              let lo, hi = bounds.(c) in
+              let out = ref [] in
+              for i = hi - 1 downto lo do
+                let state, id = arr.(i) in
+                let item =
+                  match Model.successors_tagged cfg state with
+                  | exception Model.Model_violation msg -> Poisoned (id, msg)
+                  | [] ->
+                      Expanded (id, Model.hungry_live_process cfg state <> None, [])
+                  | succs ->
+                      Expanded
+                        ( id,
+                          false,
+                          List.map
+                            (fun (_act, label, next) ->
+                              (label, next, Model.key next, check cfg next))
+                            succs )
+                in
+                out := item :: !out
+              done;
+              !out)
+        in
+        (* Sequential merge, in canonical order. *)
+        let next_level = ref [] in
+        Array.iter
+          (fun chunk ->
+            List.iter
+              (fun item ->
+                match item with
+                | Poisoned (id, msg) ->
+                    if !violation = None then begin
+                      violation := Some (msg, "(during delivery)");
+                      vio_id := id
+                    end
+                | Expanded (_, true, _) -> incr deadlocks
+                | Expanded (id, false, succs) ->
+                    List.iter
+                      (fun (label, next, k, verdict) ->
+                        incr transitions;
+                        if !d < max_depth then begin
+                          if not (Intern.mem interned k) then begin
+                            if Intern.count interned >= max_states then truncated := true
+                            else
+                              match Intern.add interned k with
+                              | `Seen _ -> ()
+                              | `New nid ->
+                                  Hashtbl.add parents nid (id, label);
+                                  next_level := (next, nid) :: !next_level;
+                                  (match verdict with
+                                  | Some msg ->
+                                      if !violation = None then begin
+                                        violation := Some (msg, Model.describe next);
+                                        vio_id := nid
+                                      end
+                                  | None -> ())
+                          end
+                        end
+                        else if not (Intern.mem interned k) then truncated := true)
+                      succs)
+              chunk)
+          chunks;
+        let next = Array.of_list (List.rev !next_level) in
+        if Array.length next > 0 then begin
+          incr d;
+          depth := !d
+        end;
+        level := next
+      done;
+      {
+        Explore.states = Intern.count interned;
+        transitions = !transitions;
+        depth = !depth;
+        complete = (not !truncated) && !violation = None;
+        violation = !violation;
+        deadlocks = !deadlocks;
+        trace =
+          (if !vio_id >= 0 then Some (Explore.rebuild_trace parents !vio_id) else None);
+      })

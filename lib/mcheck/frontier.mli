@@ -1,0 +1,24 @@
+(** Level-synchronous parallel BFS over {!Exec.Pool}.
+
+    Each BFS level is split into contiguous chunks expanded in parallel
+    (successor generation, canonical keys, invariant checks); the merge
+    back into the visited set is sequential and in chunk order, which is
+    exactly the order a sequential expansion of the level would produce.
+    Every field of the result — states, transitions, depth, deadlocks,
+    verdict, counterexample schedule — is therefore bit-identical for
+    any [domains], and on violation-free runs identical field-for-field
+    to {!Explore.bfs}. On a violating run the frontier finishes merging
+    the current level before stopping (BFS stops mid-level), so the two
+    agree on the verdict, the violating state and the schedule, but not
+    necessarily on the counters. *)
+
+val explore :
+  ?max_states:int ->
+  ?max_depth:int ->
+  ?domains:int ->
+  ?check:(Model.config -> Model.state -> string option) ->
+  Model.config ->
+  Explore.result
+(** Defaults: [max_states = 200_000], [max_depth = max_int],
+    [domains = 1] (sequential, no domains spawned),
+    [check = Model.check]. *)

@@ -134,10 +134,18 @@ let handle cfg s ~dst ~src m =
 (* Transition enumeration.                                             *)
 (* ------------------------------------------------------------------ *)
 
-let successors cfg s =
+type action =
+  | Act_local of { pid : int; tag : string }
+  | Act_deliver of { src : int; dst : int }
+  | Act_drop of { src : int; dst : int }
+  | Act_crash of { pid : int }
+  | Act_detect of { observer : int; target : int }
+  | Act_fp of { observer : int; target : int }
+
+let successors_tagged cfg s =
   let n = Array.length s.procs in
   let out = ref [] in
-  let add label next = out := (label, next) :: !out in
+  let add act label next = out := (act, label, next) :: !out in
   let fresh () = copy_state s in
   for i = 0 to n - 1 do
     let p = s.procs.(i) in
@@ -149,7 +157,7 @@ let successors cfg s =
         let s' = fresh () in
         s'.procs.(i) <-
           { (s'.procs.(i)) with phase = 1; sessions_left = p.sessions_left - 1 };
-        add (Printf.sprintf "hungry(%d)" i) s'
+        add (Act_local { pid = i; tag = "hungry" }) (Printf.sprintf "hungry(%d)" i) s'
       end;
       if p.phase = 1 && not p.inside then begin
         (* Action 2: ping neighbors lacking an ack and a pending ping. *)
@@ -165,7 +173,7 @@ let successors cfg s =
               p'.pinged.(k) <- true;
               push cfg s' ~src:i ~dst:row.(k) P)
             !targets;
-          add (Printf.sprintf "a2(%d)" i) s'
+          add (Act_local { pid = i; tag = "a2" }) (Printf.sprintf "a2(%d)" i) s'
         end;
         (* Action 5: enter the doorway. *)
         let ok = ref true in
@@ -178,7 +186,7 @@ let successors cfg s =
           Array.fill p'.ack 0 deg false;
           Array.fill p'.replied 0 deg false;
           s'.procs.(i) <- { p' with inside = true };
-          add (Printf.sprintf "a5(%d)" i) s'
+          add (Act_local { pid = i; tag = "a5" }) (Printf.sprintf "a5(%d)" i) s'
         end
       end;
       if p.phase = 1 && p.inside then begin
@@ -195,7 +203,7 @@ let successors cfg s =
               p'.token.(k) <- false;
               push cfg s' ~src:i ~dst:row.(k) (R cfg.colors.(i)))
             !targets;
-          add (Printf.sprintf "a6(%d)" i) s'
+          add (Act_local { pid = i; tag = "a6" }) (Printf.sprintf "a6(%d)" i) s'
         end;
         (* Action 9: eat. *)
         let ok = ref true in
@@ -205,7 +213,7 @@ let successors cfg s =
         if !ok then begin
           let s' = fresh () in
           s'.procs.(i) <- { (s'.procs.(i)) with phase = 2 };
-          add (Printf.sprintf "a9(%d)" i) s'
+          add (Act_local { pid = i; tag = "a9" }) (Printf.sprintf "a9(%d)" i) s'
         end
       end;
       (* Action 10: exit. *)
@@ -225,13 +233,14 @@ let successors cfg s =
           end
         done;
         s'.procs.(i) <- { p' with phase = 0; inside = false };
-        add (Printf.sprintf "a10(%d)" i) s'
+        add (Act_local { pid = i; tag = "a10" }) (Printf.sprintf "a10(%d)" i) s'
       end;
       (* Crash fault. *)
       if s.crash_budget_left > 0 then begin
         let s' = fresh () in
         s'.crashed.(i) <- true;
-        add (Printf.sprintf "crash(%d)" i)
+        add (Act_crash { pid = i })
+          (Printf.sprintf "crash(%d)" i)
           { s' with crash_budget_left = s.crash_budget_left - 1 }
       end;
       (* Oracle output changes at observer i. *)
@@ -243,13 +252,16 @@ let successors cfg s =
                (and, being justified, never off). *)
             let s' = fresh () in
             s'.susp.(i).(k) <- true;
-            add (Printf.sprintf "detect(%d,%d)" i j) s'
+            add (Act_detect { observer = i; target = j }) (Printf.sprintf "detect(%d,%d)" i j) s'
           end
         end
         else if s.fp_budget_left > 0 then begin
           let s' = fresh () in
           s'.susp.(i).(k) <- not s.susp.(i).(k);
-          add (Printf.sprintf "fp(%d,%d)" i j) { s' with fp_budget_left = s.fp_budget_left - 1 }
+          add
+              (Act_fp { observer = i; target = j })
+              (Printf.sprintf "fp(%d,%d)" i j)
+              { s' with fp_budget_left = s.fp_budget_left - 1 }
         end
       done
     end;
@@ -269,15 +281,57 @@ let successors cfg s =
               | A -> { ab with ab_a = ab.ab_a + 1 }
               | R _ -> { ab with ab_r = ab.ab_r + 1 }
               | F -> { ab with ab_f = ab.ab_f + 1 });
-            add (Printf.sprintf "drop(%d->%d)" i j) s'
+            add (Act_drop { src = i; dst = j }) (Printf.sprintf "drop(%d->%d)" i j) s'
           end
           else begin
             handle cfg s' ~dst:j ~src:i m;
-            add (Printf.sprintf "deliver(%d->%d)" i j) s'
+            add (Act_deliver { src = i; dst = j }) (Printf.sprintf "deliver(%d->%d)" i j) s'
           end)
     done
   done;
   List.rev !out
+
+let successors cfg s =
+  List.map (fun (_act, label, next) -> (label, next)) (successors_tagged cfg s)
+
+let proc_of = function
+  | Act_local { pid; _ } | Act_crash { pid } -> pid
+  | Act_deliver { dst; _ } | Act_drop { dst; _ } -> dst
+  | Act_detect { observer; _ } | Act_fp { observer; _ } -> observer
+
+(* The process set an action reads or writes, as an (a, b) pair with
+   b = -1 for single-process actions. *)
+let touches = function
+  | Act_local { pid; _ } | Act_crash { pid } -> (pid, -1)
+  | Act_deliver { src; dst } | Act_drop { src; dst } -> (src, dst)
+  | Act_detect { observer; target } | Act_fp { observer; target } -> (observer, target)
+
+(* Whole-process actions: their effect (a phase change, a live->crashed
+   flip, messages pushed onto every incident out-channel) is read by the
+   invariant footprint of every incident edge, so two of them must be
+   non-adjacent to have provably disjoint footprints. Channel actions
+   only write the footprint of their own edge; oracle flips write no
+   invariant footprint at all. *)
+let proc_wide = function
+  | Act_local _ | Act_crash _ -> true
+  | Act_deliver _ | Act_drop _ | Act_detect _ | Act_fp _ -> false
+
+let independent cfg a b =
+  let mem x (p, q) = x >= 0 && (x = p || x = q) in
+  let disjoint (p, q) pb = not (mem p pb || mem q pb) in
+  let adjacent_sets (p, q) (p', q') =
+    let adj x y = x >= 0 && y >= 0 && Cgraph.Graph.is_edge cfg.graph x y in
+    adj p p' || adj p q' || adj q p' || adj q q'
+  in
+  let ta = touches a and tb = touches b in
+  match (a, b) with
+  (* Shared-budget siblings: executing one can disable the other. *)
+  | Act_crash _, Act_crash _ | Act_fp _, Act_fp _ -> false
+  (* Channel actions confine reads and writes to their own edge. *)
+  | (Act_deliver _ | Act_drop _), (Act_deliver _ | Act_drop _) -> disjoint ta tb
+  | _ ->
+      disjoint ta tb
+      && ((not (proc_wide a && proc_wide b)) || not (adjacent_sets ta tb))
 
 (* ------------------------------------------------------------------ *)
 (* Invariants.                                                          *)
@@ -346,7 +400,71 @@ let check cfg s =
       if in_transit > 4 then fail "edge(%d,%d): %d messages in transit" i j in_transit);
   !violation
 
-let key s = Marshal.to_string s []
+(* Canonical key: a compact byte encoding driven purely by structure,
+   iterated in a fixed order (process, then neighbor index), with
+   explicit length prefixes so the encoding is injective. [Marshal]
+   output depends on in-memory sharing, which both risks duplicate
+   visited-set entries for structurally equal states and costs ~10x the
+   bytes. *)
+let add_bits b arr =
+  let n = Array.length arr in
+  let byte = ref 0 and nb = ref 0 in
+  for k = 0 to n - 1 do
+    if arr.(k) then byte := !byte lor (1 lsl !nb);
+    incr nb;
+    if !nb = 8 then begin
+      Buffer.add_uint8 b !byte;
+      byte := 0;
+      nb := 0
+    end
+  done;
+  if !nb > 0 then Buffer.add_uint8 b !byte
+
+let add_msg b = function
+  | P -> Buffer.add_uint8 b 0
+  | A -> Buffer.add_uint8 b 1
+  | F -> Buffer.add_uint8 b 2
+  | R c ->
+      Buffer.add_uint8 b 3;
+      Buffer.add_uint16_le b c
+
+let key s =
+  let b = Buffer.create 64 in
+  Buffer.add_uint16_le b s.crash_budget_left;
+  Buffer.add_uint16_le b s.fp_budget_left;
+  add_bits b s.crashed;
+  Array.iter
+    (fun p ->
+      (* phase (2 bits) and inside share a byte; sessions_left is small. *)
+      Buffer.add_uint8 b (p.phase lor if p.inside then 4 else 0);
+      Buffer.add_uint16_le b p.sessions_left;
+      add_bits b p.pinged;
+      add_bits b p.ack;
+      add_bits b p.replied;
+      add_bits b p.deferred;
+      add_bits b p.fork;
+      add_bits b p.token)
+    s.procs;
+  Array.iter (fun row -> add_bits b row) s.susp;
+  Array.iter
+    (fun row ->
+      Array.iter
+        (fun q ->
+          Buffer.add_uint8 b (List.length q);
+          List.iter (add_msg b) q)
+        row)
+    s.chans;
+  Array.iter
+    (fun row ->
+      Array.iter
+        (fun ab ->
+          Buffer.add_uint16_le b ab.ab_p;
+          Buffer.add_uint16_le b ab.ab_a;
+          Buffer.add_uint16_le b ab.ab_r;
+          Buffer.add_uint16_le b ab.ab_f)
+        row)
+    s.absorbed;
+  Buffer.contents b
 
 let hungry_live_process _cfg s =
   let found = ref None in

@@ -44,11 +44,53 @@ val successors : config -> state -> (string * state) list
     May raise {!Model_violation}; state-level invariants are found by
     {!check}. *)
 
+type action =
+  | Act_local of { pid : int; tag : string }
+      (** Internal guarded command at [pid]: one of
+          [hungry], [a2], [a5], [a6], [a9], [a10]. *)
+  | Act_deliver of { src : int; dst : int }
+      (** Head-of-queue delivery on the directed channel (src, dst). *)
+  | Act_drop of { src : int; dst : int }
+      (** Absorption of the head message: [dst] has crashed. *)
+  | Act_crash of { pid : int }
+  | Act_detect of { observer : int; target : int }
+      (** Justified suspicion of a crashed neighbor switches on. *)
+  | Act_fp of { observer : int; target : int }
+      (** Budgeted false-suspicion output flip at a live neighbor. *)
+
+val successors_tagged : config -> state -> (action * string * state) list
+(** {!successors} with each transition's structural action attached.
+    The label list is identical to {!successors}. *)
+
+val proc_of : action -> int
+(** The process "taking the step" — the acting process for internal
+    actions, the destination for deliveries/drops, the observer for
+    oracle output changes. Used for preemption accounting. *)
+
+val independent : config -> action -> action -> bool
+(** A sound (conservative, symmetric) independence relation: if
+    [independent cfg a b] then in every state where both are enabled,
+    executing them in either order reaches the same state, neither
+    enables or disables the other, and no single per-edge invariant
+    footprint is written by both. Concretely:
+    - deliveries/drops on edges with disjoint endpoint sets commute;
+    - otherwise the actions must touch disjoint process sets, two
+      whole-process actions (internal steps, crashes) must additionally
+      be non-adjacent, and two crashes (shared crash budget) or two
+      false-positive flips (shared fp budget) are never independent. *)
+
 val check : config -> state -> string option
 (** First violated invariant of the state, if any. *)
 
 val key : state -> string
-(** Canonical serialisation for visited-set hashing. *)
+(** Canonical compact byte encoding for visited-set hashing:
+    structurally equal states yield equal keys regardless of how they
+    were built (unlike [Marshal], whose output depends on in-memory
+    sharing), and the encoding is injective, so distinct states never
+    collide. Roughly half the size of a marshalled state on the smallest
+    instances and shrinking relative to it as [n] grows (bools are
+    bit-packed, no per-block headers) — the interning substrate for
+    large explorations. *)
 
 val hungry_live_process : config -> state -> int option
 (** Some live process currently hungry, if any (deadlock detection in

@@ -98,3 +98,36 @@ let field_int line name =
         incr stop
       done;
       if !stop = start then None else int_of_string_opt (String.sub line start (!stop - start))
+
+(* Companion scanner for ["name":"<string>"] fields, undoing the escapes
+   [escape] produces (\uXXXX is left alone: no emitter here writes any
+   character it would need to recover). *)
+let field_string line name =
+  let needle = "\"" ^ name ^ "\":\"" in
+  let nlen = String.length needle and llen = String.length line in
+  let rec find i = if i + nlen > llen then None else if String.sub line i nlen = needle then Some (i + nlen) else find (i + 1) in
+  match find 0 with
+  | None -> None
+  | Some start ->
+      let buf = Buffer.create 16 in
+      let rec scan i =
+        if i >= llen then None
+        else
+          match line.[i] with
+          | '"' -> Some (Buffer.contents buf)
+          | '\\' when i + 1 < llen ->
+              (match line.[i + 1] with
+              | '"' -> Buffer.add_char buf '"'
+              | '\\' -> Buffer.add_char buf '\\'
+              | 'n' -> Buffer.add_char buf '\n'
+              | 'r' -> Buffer.add_char buf '\r'
+              | 't' -> Buffer.add_char buf '\t'
+              | c ->
+                  Buffer.add_char buf '\\';
+                  Buffer.add_char buf c);
+              scan (i + 2)
+          | c ->
+              Buffer.add_char buf c;
+              scan (i + 1)
+      in
+      scan start

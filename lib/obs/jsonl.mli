@@ -19,3 +19,8 @@ val field_int : string -> string -> int option
 (** [field_int line name] scans a JSON line for an integer field, e.g.
     [field_int l "t"] — enough to surface the time of a divergent line
     without a full JSON parser. *)
+
+val field_string : string -> string -> string option
+(** [field_string line name] scans a JSON line for a string field and
+    unescapes it — the inverse of what {!append} writes, for consumers
+    (e.g. counterexample replay) that re-read their own exports. *)

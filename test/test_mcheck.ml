@@ -97,6 +97,24 @@ let depth_cap_respected () =
   check bool "depth bounded" true (r.depth <= 3);
   check bool "marked incomplete" true (not r.complete)
 
+let depth_cap_at_diameter_is_complete () =
+  (* Regression: popping any state at the depth cap used to flag the
+     search incomplete even when every successor was already visited. A
+     cap equal to the space's diameter must yield a complete result
+     identical to the unbounded one — including the deadlock count from
+     terminal states sitting exactly on the cap. *)
+  let cfg = pair_cfg ~sessions:1 () in
+  let r0 = Mcheck.Explore.bfs cfg in
+  check bool "reference run complete" true r0.complete;
+  let r1 = Mcheck.Explore.bfs ~max_depth:r0.depth cfg in
+  check bool "complete at the diameter" true r1.complete;
+  check int "same states" r0.states r1.states;
+  check int "same transitions" r0.transitions r1.transitions;
+  check int "same depth" r0.depth r1.depth;
+  check int "same deadlocks" r0.deadlocks r1.deadlocks;
+  let r2 = Mcheck.Explore.bfs ~max_depth:(r0.depth - 1) cfg in
+  check bool "incomplete below the diameter" true (not r2.complete)
+
 (* The checker must actually be able to find violations: feed it a bogus
    initial coloring bypass by corrupting the invariant check via a state
    with two forks. Easiest faithful negative test: a model where both
@@ -150,11 +168,11 @@ let scripted_session () =
 let eating_is_reachable () =
   let cfg = pair_cfg () in
   (match Mcheck.Explore.reach ~pred:(fun s -> Mcheck.Model.phase s 0 = `Eating) cfg with
-  | Some depth -> check bool "reasonable depth" true (depth > 3)
-  | None -> Alcotest.fail "process 0 can never eat in the model");
+  | Mcheck.Explore.Found depth -> check bool "reasonable depth" true (depth > 3)
+  | Unreachable | Truncated -> Alcotest.fail "process 0 can never eat in the model");
   match Mcheck.Explore.reach ~pred:(fun s -> Mcheck.Model.phase s 1 = `Eating) cfg with
-  | Some _ -> ()
-  | None -> Alcotest.fail "process 1 can never eat in the model"
+  | Mcheck.Explore.Found _ -> ()
+  | Unreachable | Truncated -> Alcotest.fail "process 1 can never eat in the model"
 
 let eating_reachable_past_crash () =
   (* 0 can reach eating even in runs where 1 crashed: the suspicion
@@ -162,20 +180,34 @@ let eating_reachable_past_crash () =
   let cfg = pair_cfg ~crash_budget:1 () in
   let pred s = Mcheck.Model.phase s 0 = `Eating && Mcheck.Model.crashed s 1 in
   match Mcheck.Explore.reach ~pred cfg with
-  | Some _ -> ()
-  | None -> Alcotest.fail "no eat-past-crash run found"
+  | Mcheck.Explore.Found _ -> ()
+  | Unreachable | Truncated -> Alcotest.fail "no eat-past-crash run found"
 
 let doorway_reachable () =
   let cfg = pair_cfg () in
   match Mcheck.Explore.reach ~pred:(fun s -> Mcheck.Model.inside s 0) cfg with
-  | Some _ -> ()
-  | None -> Alcotest.fail "doorway unreachable"
+  | Mcheck.Explore.Found _ -> ()
+  | Unreachable | Truncated -> Alcotest.fail "doorway unreachable"
 
 let unreachable_predicate () =
   let cfg = pair_cfg () in
-  (* With no crash budget nobody can be crashed. *)
+  (* With no crash budget nobody can be crashed — and the full space fits
+     in the default budget, so the negative answer is trustworthy. *)
   check bool "correctly unreachable" true
-    (Mcheck.Explore.reach ~pred:(fun s -> Mcheck.Model.crashed s 0) cfg = None)
+    (Mcheck.Explore.reach ~pred:(fun s -> Mcheck.Model.crashed s 0) cfg
+    = Mcheck.Explore.Unreachable)
+
+let truncated_is_not_unreachable () =
+  (* Regression: a search cut short by [max_states] used to report the
+     same [None] as a genuinely exhausted search. The predicate here is
+     impossible, but with a 10-state budget the checker cannot know
+     that — it must answer [Truncated], never [Unreachable]. *)
+  let cfg = pair_cfg ~sessions:2 () in
+  let pred s = Mcheck.Model.crashed s 0 in
+  check bool "capped search admits ignorance" true
+    (Mcheck.Explore.reach ~max_states:10 ~pred cfg = Mcheck.Explore.Truncated);
+  check bool "depth-capped search admits ignorance" true
+    (Mcheck.Explore.reach ~max_depth:2 ~pred cfg = Mcheck.Explore.Truncated)
 
 (* ------------------------- progress (liveness) --------------------- *)
 
@@ -241,6 +273,173 @@ let random_walk_deterministic () =
   let b = Mcheck.Explore.random_walk ~walks:8 ~steps:100 ~seed:5L cfg in
   check int "same seed same trajectory count" a.steps_taken b.steps_taken
 
+(* An injected invariant that flags a state every sound run reaches —
+   used to exercise the violation/counterexample machinery, since the
+   real invariants never trip on a proper coloring. *)
+let flag_eating cfg s =
+  let n = Cgraph.Graph.n cfg.Mcheck.Model.graph in
+  let rec go i =
+    if i >= n then None
+    else if (not (Mcheck.Model.crashed s i)) && Mcheck.Model.phase s i = `Eating then
+      Some (Printf.sprintf "injected: %d eating" i)
+    else go (i + 1)
+  in
+  go 0
+
+let random_walk_checks_initial_state () =
+  (* Regression: walks used to check only the states they stepped INTO,
+     never the shared initial state. With zero sessions nothing is ever
+     enabled, so a violation planted in [Model.initial] is visible only
+     through the initial check. *)
+  let cfg = pair_cfg ~sessions:0 () in
+  let inject _cfg _s = Some "injected: initial" in
+  let r = Mcheck.Explore.random_walk ~walks:4 ~steps:10 ~check:inject ~seed:1L cfg in
+  match r.walk_violation with
+  | Some (msg, _) -> check Alcotest.string "found at step zero" "injected: initial" msg
+  | None -> Alcotest.fail "initial-state violation missed by the walker"
+
+(* ------------------------- DPOR ------------------------------------ *)
+
+let path3_cfg ?(sessions = 1) ?(crash_budget = 0) ?(fp_budget = 0) () =
+  {
+    Mcheck.Model.graph = Cgraph.Graph.of_edges ~n:3 [ (0, 1); (1, 2) ];
+    colors = [| 0; 1; 0 |];
+    sessions;
+    crash_budget;
+    fp_budget;
+  }
+
+let dpor_agrees_with_bfs_and_reduces () =
+  (* Sleep sets prune transitions, never states: DPOR must visit the
+     same state space with the same verdict and deadlock count, through
+     strictly fewer transitions (path-3 has the non-adjacent pair 0/2
+     whose interleavings collapse). *)
+  let cfg = path3_cfg () in
+  let b = Mcheck.Explore.bfs cfg in
+  let d = Mcheck.Dpor.explore cfg in
+  check bool "both complete" true (b.complete && d.complete);
+  check int "same states" b.states d.states;
+  check int "same deadlocks" b.deadlocks d.deadlocks;
+  check bool "same (clean) verdict" true (b.violation = None && d.violation = None);
+  check bool
+    (Printf.sprintf "strictly fewer transitions (%d < %d)" d.transitions b.transitions)
+    true
+    (d.transitions < b.transitions)
+
+let dpor_agrees_under_faults () =
+  (* crash only: adding the fp budget as well pushes path-3 to ~1.5M
+     states — the agreement there is covered by the bench table. *)
+  let cfg = path3_cfg ~crash_budget:1 () in
+  let b = Mcheck.Explore.bfs ~max_states:400_000 cfg in
+  let d = Mcheck.Dpor.explore ~max_states:400_000 cfg in
+  check bool "both complete" true (b.complete && d.complete);
+  check int "same states under faults" b.states d.states;
+  check int "same deadlocks under faults" b.deadlocks d.deadlocks;
+  check bool "reduced under faults" true (d.transitions < b.transitions)
+
+let dpor_finds_injected_violation () =
+  let cfg = pair_cfg () in
+  let d = Mcheck.Dpor.explore ~check:flag_eating cfg in
+  (match d.violation with
+  | Some (msg, _) -> check bool "flags eating" true (String.length msg > 0)
+  | None -> Alcotest.fail "DPOR missed the injected violation");
+  match d.trace with
+  | Some t ->
+      (* the schedule must actually reproduce it *)
+      (match Mcheck.Replay.run ~check:flag_eating cfg t with
+      | Mcheck.Replay.Reproduced _ -> ()
+      | o -> Alcotest.failf "DPOR schedule does not replay: %a" Mcheck.Replay.pp_outcome o)
+  | None -> Alcotest.fail "violation without a schedule"
+
+let preemption_bound_prunes_and_relaxes () =
+  let cfg = path3_cfg () in
+  let b = Mcheck.Explore.bfs cfg in
+  (* A zero budget forbids every context switch away from an enabled
+     process: the search is pruned and must say so. *)
+  let tight = Mcheck.Dpor.explore ~preemption_bound:0 cfg in
+  check bool "bounded search admits incompleteness" true (not tight.complete);
+  check bool "bounded search is smaller" true (tight.states < b.states);
+  (* A budget no schedule can exceed changes nothing. *)
+  let loose = Mcheck.Dpor.explore ~preemption_bound:10_000 cfg in
+  check bool "loose bound complete" true loose.complete;
+  check int "loose bound, full space" b.states loose.states
+
+(* ------------------------- parallel frontier ----------------------- *)
+
+let frontier_matches_bfs () =
+  let cfg = path3_cfg () in
+  let b = Mcheck.Explore.bfs cfg in
+  let f = Mcheck.Frontier.explore ~domains:1 cfg in
+  check int "states" b.states f.states;
+  check int "transitions" b.transitions f.transitions;
+  check int "depth" b.depth f.depth;
+  check int "deadlocks" b.deadlocks f.deadlocks;
+  check bool "complete" b.complete f.complete;
+  check bool "verdict" true (f.violation = None)
+
+let frontier_bit_identical_across_domains () =
+  (* The acceptance bar for parallel exploration: every result field is
+     bit-identical whatever the domain count. *)
+  let cfg = path3_cfg ~fp_budget:1 () in
+  let r1 = Mcheck.Frontier.explore ~domains:1 cfg in
+  List.iter
+    (fun domains ->
+      let rn = Mcheck.Frontier.explore ~domains cfg in
+      let tag s = Printf.sprintf "%s (domains=%d)" s domains in
+      check int (tag "states") r1.states rn.states;
+      check int (tag "transitions") r1.transitions rn.transitions;
+      check int (tag "depth") r1.depth rn.depth;
+      check int (tag "deadlocks") r1.deadlocks rn.deadlocks;
+      check bool (tag "complete") r1.complete rn.complete;
+      check bool (tag "verdict") true (r1.violation = rn.violation))
+    [ 2; 3; 4 ]
+
+let frontier_violation_deterministic_across_domains () =
+  (* With a violation in play the FIRST one in BFS order must win no
+     matter how the level was chunked, schedule included. *)
+  let cfg = pair_cfg () in
+  let r1 = Mcheck.Frontier.explore ~domains:1 ~check:flag_eating cfg in
+  let r2 = Mcheck.Frontier.explore ~domains:3 ~check:flag_eating cfg in
+  check bool "violation found" true (r1.violation <> None);
+  check bool "same violation" true (r1.violation = r2.violation);
+  check bool "same schedule" true (r1.trace = r2.trace);
+  match r1.trace with
+  | Some t -> (
+      match Mcheck.Replay.run ~check:flag_eating cfg t with
+      | Mcheck.Replay.Reproduced _ -> ()
+      | o -> Alcotest.failf "frontier schedule does not replay: %a" Mcheck.Replay.pp_outcome o)
+  | None -> Alcotest.fail "violation without a schedule"
+
+(* ------------------------- replay ---------------------------------- *)
+
+let replay_reproduces_bfs_counterexample () =
+  let cfg = pair_cfg () in
+  let b = Mcheck.Explore.bfs ~check:flag_eating cfg in
+  match (b.violation, b.trace) with
+  | Some (msg, _), Some t -> (
+      match Mcheck.Replay.run ~check:flag_eating cfg t with
+      | Mcheck.Replay.Reproduced r ->
+          check Alcotest.string "same message" msg r.message;
+          check int "at the schedule's end" (List.length t) r.step
+      | o -> Alcotest.failf "did not reproduce: %a" Mcheck.Replay.pp_outcome o)
+  | _ -> Alcotest.fail "BFS found no injected violation to replay"
+
+let replay_jsonl_roundtrip () =
+  let labels = [ "hungry(0)"; "a2(0)"; "deliver(0->1)"; "deliver(1->0)"; "a5(0)" ] in
+  let exported = Mcheck.Replay.to_jsonl ~header:"test schedule" labels in
+  check bool "has a comment header" true (String.length exported > 0 && exported.[0] = '#');
+  check (Alcotest.list Alcotest.string) "roundtrip" labels (Mcheck.Replay.of_jsonl exported)
+
+let replay_clean_and_stuck () =
+  let cfg = pair_cfg () in
+  (match Mcheck.Replay.run cfg [ "hungry(0)"; "a2(0)" ] with
+  | Mcheck.Replay.Clean 2 -> ()
+  | o -> Alcotest.failf "expected Clean 2, got %a" Mcheck.Replay.pp_outcome o);
+  match Mcheck.Replay.run cfg [ "hungry(0)"; "a9(0)" ] with
+  | Mcheck.Replay.Stuck { step = 1; label = "a9(0)"; available } ->
+      check bool "alternatives listed" true (available <> [])
+  | o -> Alcotest.failf "expected Stuck at 1, got %a" Mcheck.Replay.pp_outcome o
+
 let key_is_canonical () =
   let cfg = pair_cfg () in
   let a = Mcheck.Model.initial cfg and b = Mcheck.Model.initial cfg in
@@ -248,6 +447,26 @@ let key_is_canonical () =
   let succ = Mcheck.Model.successors cfg a in
   let _, after = List.hd succ in
   check bool "different states different keys" true (Mcheck.Model.key a <> Mcheck.Model.key after)
+
+let key_path_independent () =
+  (* Regression for the Marshal-based key: structurally equal states
+     built along different execution paths could serialize differently
+     (sharing, allocation history), splitting one state into several.
+     hungry(0);hungry(1) and hungry(1);hungry(0) commute into the same
+     state — their canonical keys must collide. *)
+  let cfg = pair_cfg () in
+  let step s label = List.assoc label (Mcheck.Model.successors cfg s) in
+  let init = Mcheck.Model.initial cfg in
+  let via01 = step (step init "hungry(0)") "hungry(1)" in
+  let via10 = step (step init "hungry(1)") "hungry(0)" in
+  check bool "commuted paths, one key" true
+    (Mcheck.Model.key via01 = Mcheck.Model.key via10);
+  (* And the canonical encoding is smaller than Marshal even on the
+     smallest instance (the gap widens with n: Marshal spends a header
+     and block tags per field, the encoding packs bools into bits). *)
+  check bool "compact" true
+    (String.length (Mcheck.Model.key init)
+    < String.length (Marshal.to_string init []))
 
 let describe_mentions_phases () =
   let cfg = pair_cfg () in
@@ -269,17 +488,39 @@ let suite =
     Alcotest.test_case "exhaustive: triangle with crash" `Slow exhaustive_triangle_with_crash;
     Alcotest.test_case "bounds: state cap" `Quick state_cap_respected;
     Alcotest.test_case "bounds: depth cap" `Quick depth_cap_respected;
+    Alcotest.test_case "bounds: depth cap at diameter stays complete" `Quick
+      depth_cap_at_diameter_is_complete;
     Alcotest.test_case "exclusion check is liveness-aware" `Slow exclusion_check_is_live_aware;
     Alcotest.test_case "reach: eating reachable for both" `Quick eating_is_reachable;
     Alcotest.test_case "reach: eating past a crash" `Quick eating_reachable_past_crash;
     Alcotest.test_case "reach: doorway reachable" `Quick doorway_reachable;
     Alcotest.test_case "reach: impossible predicate" `Quick unreachable_predicate;
+    Alcotest.test_case "reach: truncation is not unreachability" `Quick
+      truncated_is_not_unreachable;
     Alcotest.test_case "progress: pair (Theorem 2 possibility form)" `Quick progress_pair;
     Alcotest.test_case "progress: pair under crash and lies" `Slow progress_pair_with_faults;
     Alcotest.test_case "progress: triangle, all diners" `Slow progress_triangle;
     Alcotest.test_case "walk: clean on the pair" `Quick random_walk_clean_on_pair;
     Alcotest.test_case "walk: ring-4 with crash and lies" `Slow random_walk_scales_to_ring4;
     Alcotest.test_case "walk: deterministic in the seed" `Quick random_walk_deterministic;
+    Alcotest.test_case "walk: initial state is checked" `Quick random_walk_checks_initial_state;
+    Alcotest.test_case "dpor: same space, fewer transitions" `Quick
+      dpor_agrees_with_bfs_and_reduces;
+    Alcotest.test_case "dpor: agrees under crash and lies" `Slow dpor_agrees_under_faults;
+    Alcotest.test_case "dpor: finds and replays injected violation" `Quick
+      dpor_finds_injected_violation;
+    Alcotest.test_case "dpor: preemption bounding" `Quick preemption_bound_prunes_and_relaxes;
+    Alcotest.test_case "frontier: matches bfs field for field" `Quick frontier_matches_bfs;
+    Alcotest.test_case "frontier: bit-identical across domains" `Slow
+      frontier_bit_identical_across_domains;
+    Alcotest.test_case "frontier: deterministic counterexample" `Quick
+      frontier_violation_deterministic_across_domains;
+    Alcotest.test_case "replay: reproduces a bfs counterexample" `Quick
+      replay_reproduces_bfs_counterexample;
+    Alcotest.test_case "replay: jsonl roundtrip" `Quick replay_jsonl_roundtrip;
+    Alcotest.test_case "replay: clean and stuck outcomes" `Quick replay_clean_and_stuck;
     Alcotest.test_case "canonical keys" `Quick key_is_canonical;
+    Alcotest.test_case "canonical keys: path independent and compact" `Quick
+      key_path_independent;
     Alcotest.test_case "describe" `Quick describe_mentions_phases;
   ]

@@ -96,6 +96,24 @@ let jsonl_field_int () =
   check (Alcotest.option int) "seq" (Some 12) (Obs.Jsonl.field_int line "seq");
   check (Alcotest.option int) "missing" None (Obs.Jsonl.field_int line "at")
 
+let jsonl_field_string () =
+  (* The scanner must invert [append]'s escaping — round-trip a Mark
+     with every escaped character in play. *)
+  let line =
+    Obs.Jsonl.to_line
+      {
+        Obs.Record.seq = 0;
+        time = 0;
+        kind = Obs.Record.Mark { subject = -1; tag = "mcheck.step"; detail = "a\"b\\c\nd" };
+      }
+  in
+  check (Alcotest.option string) "tag" (Some "mcheck.step") (Obs.Jsonl.field_string line "tag");
+  check (Alcotest.option string) "detail unescaped" (Some "a\"b\\c\nd")
+    (Obs.Jsonl.field_string line "detail");
+  check (Alcotest.option string) "missing" None (Obs.Jsonl.field_string line "phase");
+  (* An int field is not a string field. *)
+  check (Alcotest.option string) "wrong type" None (Obs.Jsonl.field_string line "seq")
+
 (* ----------------------------- Diff -------------------------------- *)
 
 let diff_identical_and_headers () =
@@ -224,6 +242,7 @@ let suite =
     Alcotest.test_case "jsonl: fixed field order" `Quick jsonl_fixed_field_order;
     Alcotest.test_case "jsonl: string escaping" `Quick jsonl_escapes_strings;
     Alcotest.test_case "jsonl: field_int scanner" `Quick jsonl_field_int;
+    Alcotest.test_case "jsonl: field_string scanner" `Quick jsonl_field_string;
     Alcotest.test_case "diff: identical modulo headers" `Quick diff_identical_and_headers;
     Alcotest.test_case "diff: pinpoints first divergence" `Quick diff_pinpoints_first_divergence;
     Alcotest.test_case "diff: strict prefix diverges at end" `Quick diff_prefix_divergence_at_end;
