@@ -2,9 +2,9 @@
 
    Two halves:
    - the reproduction suite: one table/figure per paper claim plus the
-     extensions (E1..E12, F1..F5) and the exhaustive model-checking runs
-     (MC), regenerated deterministically — run with no arguments, or pass
-     ids to select;
+     extensions (E1..E12, F1..F5), the exhaustive model-checking runs
+     (MC) and the fuzzing-campaign summaries (FZ), regenerated
+     deterministically — run with no arguments, or pass ids to select;
    - Bechamel microbenchmarks ("perf") measuring the substrate and the
      algorithm itself, one Test.make per benchmark. *)
 
@@ -264,10 +264,107 @@ let run_mc () =
     "note: stuck = 0 on every row means no reachable hungry-live state has lost all\n\
      paths to eating — wait-freedom's possibility form, verified exhaustively.\n"
 
+let run_fuzz () =
+  print_endline
+    "### FZ — property-based fuzzing campaigns (shared oracles for Theorems 1-3 + Section 7)\n";
+  let domains = (Harness.Experiments.default_ctx ()).domains in
+  (* Fixed seeds and case counts: the tables are deterministic, like
+     every other reproduction artifact. *)
+  let sound = Fuzz.Campaign.run ~domains ~profile:Fuzz.Gen.Sound ~seed:11L ~cases:400 () in
+  let hostile =
+    Fuzz.Campaign.run ~domains ~profile:Fuzz.Gen.Hostile ~seed:11L ~cases:60 ()
+  in
+  let summary =
+    Stats.Table.create ~title:"FZ: campaign summary (seed 11)"
+      ~columns:
+        [
+          ("profile", Stats.Table.Left);
+          ("cases", Stats.Table.Right);
+          ("failures", Stats.Table.Right);
+          ("eats", Stats.Table.Right);
+          ("events", Stats.Table.Right);
+        ]
+  in
+  List.iter
+    (fun (r : Fuzz.Campaign.report) ->
+      Stats.Table.add_row summary
+        [
+          Fuzz.Gen.profile_name r.profile;
+          Stats.Table.cell_int r.cases;
+          Stats.Table.cell_int (List.length r.failures);
+          Stats.Table.cell_int r.total_eats;
+          Stats.Table.cell_int r.total_events;
+        ])
+    [ sound; hostile ];
+  Stats.Table.print summary;
+  let coverage =
+    Stats.Table.create ~title:"FZ: per-oracle coverage"
+      ~columns:
+        [
+          ("oracle", Stats.Table.Left);
+          ("sound checked", Stats.Table.Right);
+          ("sound failures", Stats.Table.Right);
+          ("hostile checked", Stats.Table.Right);
+          ("hostile failures", Stats.Table.Right);
+        ]
+  in
+  let fail_count (r : Fuzz.Campaign.report) name =
+    List.length (List.filter (fun (f : Fuzz.Campaign.failure) -> f.property = name) r.failures)
+  in
+  List.iter
+    (fun (p : Fuzz.Property.t) ->
+      Stats.Table.add_row coverage
+        [
+          p.name;
+          Stats.Table.cell_int (List.assoc p.name sound.checked);
+          Stats.Table.cell_int (fail_count sound p.name);
+          Stats.Table.cell_int (List.assoc p.name hostile.checked);
+          Stats.Table.cell_int (fail_count hostile p.name);
+        ])
+    Fuzz.Property.all;
+  Stats.Table.print coverage;
+  print_endline
+    "note: the sound profile stays inside the theorems' hypotheses — 0 failures is the\n\
+     expected (and asserted-in-CI) result. The hostile profile adds baseline daemons and\n\
+     bad detectors, so its failures are the oracles catching designed violations.\n";
+  let shrunk =
+    Stats.Table.create ~title:"FZ: delta-debugging effectiveness (hostile failures)"
+      ~columns:
+        [
+          ("case", Stats.Table.Right);
+          ("property", Stats.Table.Left);
+          ("topology", Stats.Table.Left);
+          ("shrunk to", Stats.Table.Left);
+          ("horizon", Stats.Table.Right);
+          ("shrunk to ", Stats.Table.Right);
+          ("steps", Stats.Table.Right);
+          ("attempts", Stats.Table.Right);
+        ]
+  in
+  List.iter
+    (fun (f : Fuzz.Campaign.failure) ->
+      if f.shrink_steps > 0 || f.shrink_attempts > 0 then
+        Stats.Table.add_row shrunk
+          [
+            Stats.Table.cell_int f.case;
+            f.property;
+            Cgraph.Topology.name f.scenario.topology;
+            Cgraph.Topology.name f.shrunk.topology;
+            Stats.Table.cell_int f.scenario.horizon;
+            Stats.Table.cell_int f.shrunk.horizon;
+            Stats.Table.cell_int f.shrink_steps;
+            Stats.Table.cell_int f.shrink_attempts;
+          ])
+    hostile.failures;
+  Stats.Table.print shrunk;
+  print_endline
+    "note: every failing case minimizes to a few processes and a short horizon; each\n\
+     reproducer replays to the same verdict from its scenario fields alone.\n"
+
 let usage () =
   prerr_endline
     "usage: main.exe [ID ...] [--domains N] [--seeds N]\n\
-     IDs: e1..e12, f1..f6, mc, perf (all when omitted).\n\
+     IDs: e1..e12, f1..f6, mc, fuzz, perf (all when omitted).\n\
      --domains caps batch/sweep parallelism (default: recommended domain count;\n\
      output is identical for any value); --seeds sets seeds per batch row.";
   exit 2
@@ -295,4 +392,5 @@ let () =
       if wants e.id then Harness.Experiments.run_and_print ~ctx e)
     Harness.Experiments.all;
   if wants "mc" then run_mc ();
+  if wants "fuzz" then run_fuzz ();
   if wants "perf" then run_perf ()

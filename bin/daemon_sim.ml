@@ -5,6 +5,7 @@
      experiments  the reproduction suite (E1..E12, F1..F5)
      mcheck       exhaustive model checking of small instances
      check        systematic checking: DPOR / parallel frontier / replay
+     fuzz         property-based fuzzing campaigns with shrinking + replay
      stabilize    a self-stabilizing protocol driven by the daemon *)
 
 open Cmdliner
@@ -594,6 +595,122 @@ let check_cmd =
       $ replay_arg)
 
 (* ------------------------------------------------------------------ *)
+(* fuzz                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let fuzz_cmd =
+  let cases_arg =
+    Arg.(
+      value
+      & opt (positive_int "--cases") 200
+      & info [ "cases" ] ~docv:"N" ~doc:"Scenarios to generate and check.")
+  in
+  let profile_arg =
+    Arg.(
+      value
+      & opt (Arg.enum [ ("sound", Fuzz.Gen.Sound); ("hostile", Fuzz.Gen.Hostile) ]) Fuzz.Gen.Sound
+      & info [ "profile" ] ~docv:"PROFILE"
+          ~doc:
+            "$(b,sound) generates scenarios inside the theorems' hypotheses (any failure \
+             is a real finding; exit 1); $(b,hostile) also generates baseline daemons \
+             and bad detectors, where violations are expected — it exercises the \
+             shrink/replay pipeline.")
+  in
+  let property_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "p"; "property" ] ~docv:"NAME"
+          ~doc:
+            "Check only this oracle (repeatable). Known: lemmas, exclusion, \
+             wait-freedom, bounded-waiting, channel-bound, quiescence. Default: all.")
+  in
+  let no_shrink_arg =
+    Arg.(value & flag & info [ "no-shrink" ] ~doc:"Report failures without minimizing them.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write the first failure's minimized reproducer to $(docv) as JSONL.")
+  in
+  let replay_arg =
+    Arg.(
+      value
+      & opt (some non_dir_file) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:
+            "Replay the reproducer in $(docv) (a $(b,-o) file) instead of fuzzing: re-run \
+             its scenario and re-check its property. Exits 0 when the violation \
+             reproduces, 1 when the property holds on replay, 2 on a malformed file.")
+  in
+  let go seed cases domains profile properties no_shrink out replay =
+    let properties =
+      match properties with
+      | [] -> Fuzz.Property.all
+      | names ->
+          List.map
+            (fun name ->
+              match Fuzz.Property.find name with
+              | Some p -> p
+              | None ->
+                  Printf.eprintf "unknown property %S (known: %s)\n" name
+                    (String.concat ", "
+                       (List.map (fun (p : Fuzz.Property.t) -> p.name) Fuzz.Property.all));
+                  exit 2)
+            names
+    in
+    match replay with
+    | Some path -> (
+        match Fuzz.Repro.of_jsonl (In_channel.with_open_bin path In_channel.input_all) with
+        | Error msg ->
+            Printf.eprintf "cannot parse %s: %s\n" path msg;
+            exit 2
+        | Ok (scenario, property) -> (
+            match Fuzz.Property.find property with
+            | None ->
+                Printf.eprintf "reproducer names unknown property %S\n" property;
+                exit 2
+            | Some p ->
+                Printf.printf "replay   : %s\n" path;
+                Printf.printf "scenario : %s\n" (Fuzz.Repro.describe scenario);
+                let outcome = Fuzz.Repro.replay p scenario in
+                Format.printf "outcome  : %a@." Fuzz.Repro.pp_outcome outcome;
+                (match outcome with Fuzz.Repro.Clean _ -> exit 1 | Fuzz.Repro.Reproduced _ -> ())))
+    | None ->
+        let report =
+          Fuzz.Campaign.run ~domains ~profile ~properties ~shrink:(not no_shrink) ~seed
+            ~cases ()
+        in
+        Format.printf "%a" Fuzz.Campaign.pp report;
+        (match (out, report.failures) with
+        | Some path, f :: _ ->
+            let header =
+              Printf.sprintf "daemon_sim fuzz reproducer: campaign seed=%Ld profile=%s case=%d"
+                seed (Fuzz.Gen.profile_name profile) f.case
+            in
+            let oc = open_out path in
+            output_string oc
+              (Fuzz.Repro.to_jsonl ~header ~property:f.property ~message:f.shrunk_message
+                 f.shrunk);
+            close_out oc;
+            Printf.printf "wrote %s\n" path
+        | Some path, [] -> Printf.printf "no failures; %s not written\n" path
+        | None, _ -> ());
+        if profile = Fuzz.Gen.Sound && report.failures <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Property-based fuzzing: generate whole scenarios from one campaign seed, check \
+          the paper's oracles on each, minimize any failure by delta debugging and export \
+          it as a replayable JSONL reproducer. The report is bit-identical for any \
+          --domains.")
+    Term.(
+      const go $ seed_arg $ cases_arg $ domains_arg $ profile_arg $ property_arg
+      $ no_shrink_arg $ out_arg $ replay_arg)
+
+(* ------------------------------------------------------------------ *)
 (* stabilize                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -673,6 +790,6 @@ let main =
          "Wait-free, eventually 2-bounded dining daemons with an eventually perfect \
           failure detector (Song & Pike, DSN 2007) — simulator, baselines, experiments \
           and model checker.")
-    [ run_cmd; batch_cmd; trace_cmd; tracediff_cmd; experiments_cmd; mcheck_cmd; check_cmd; stabilize_cmd ]
+    [ run_cmd; batch_cmd; trace_cmd; tracediff_cmd; experiments_cmd; mcheck_cmd; check_cmd; fuzz_cmd; stabilize_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -23,7 +23,7 @@ let zone_arg =
           "Restrict the scan to this directory (repeatable, comma-separable). Defaults \
            to the deterministic zone: lib/sim, lib/core, lib/net, lib/detector, \
            lib/graph, lib/harness, lib/monitor, lib/stabilize, lib/baselines, \
-           lib/mcheck, lib/exec, lib/stats.")
+           lib/mcheck, lib/exec, lib/stats, lib/fuzz.")
 
 let format_arg =
   Arg.(

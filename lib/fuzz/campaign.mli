@@ -1,0 +1,53 @@
+(** Parallel fuzzing campaigns.
+
+    Cases fan out across an {!Exec.Pool} (each case is one share-nothing
+    {!Harness.World}); results come back in case order, and every
+    aggregate is folded in that order, so a campaign report is
+    bit-identical for any [?domains] — the same determinism contract as
+    {!Harness.Batch}. *)
+
+type failure = {
+  case : int;
+  property : string;  (** The violated oracle's {!Property.name}. *)
+  message : string;  (** The oracle's account on the original scenario. *)
+  scenario : Harness.Scenario.t;  (** As generated. *)
+  shrunk : Harness.Scenario.t;
+      (** The minimized reproducer (= [scenario] when shrinking was off
+          or this was not the case's first failing property). *)
+  shrink_steps : int;
+  shrink_attempts : int;
+  shrunk_message : string;  (** The oracle's account on the reproducer. *)
+}
+
+type report = {
+  seed : int64;
+  profile : Gen.profile;
+  cases : int;
+  checked : (string * int) list;
+      (** Oracle name -> number of cases it was checked on, in
+          {!Property.all} order. *)
+  failures : failure list;  (** Ascending case number. *)
+  total_eats : int;  (** Summed over all cases — campaign workload proxy. *)
+  total_events : int;  (** Engine events summed over all cases. *)
+}
+
+val run :
+  ?domains:int ->
+  ?profile:Gen.profile ->
+  ?properties:Property.t list ->
+  ?shrink:bool ->
+  seed:int64 ->
+  cases:int ->
+  unit ->
+  report
+(** Generate and execute [cases] scenarios from [seed], checking each
+    against [properties] (default {!Property.all}) — restricted to the
+    applicable subset per scenario under {!Gen.Sound}, hypotheses
+    ignored under {!Gen.Hostile}. The first failing property of a case
+    is minimized with {!Shrink.minimize} when [shrink] (default true).
+    Deterministic in everything but [domains], which only buys wall
+    clock. *)
+
+val pp : Format.formatter -> report -> unit
+(** Render the report: header, per-oracle check counts, totals, then one
+    block per failure with the original and shrunken scenarios. *)

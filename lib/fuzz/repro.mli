@@ -1,0 +1,33 @@
+(** Replayable reproducers for failing scenarios.
+
+    A run is a pure function of its scenario, so the reproducer {e is}
+    the scenario: {!to_jsonl} exports every field as one
+    [fuzz.scenario] mark record in an {!Obs.Jsonl} trace (plus the
+    violated property's name), and {!of_jsonl} parses it back
+    losslessly. {!replay} then re-runs the scenario and re-checks the
+    property — same scenario, same verdict, every time. *)
+
+val describe : Harness.Scenario.t -> string
+(** One-line [key=value] rendering of every scenario field, in fixed
+    field order — the campaign report's scenario syntax. *)
+
+val to_jsonl : ?header:string -> property:string -> message:string -> Harness.Scenario.t -> string
+(** Export scenario + violated property (+ the observed violation
+    message, informational) as mark records, one field per line.
+    [?header] prepends a [# ...] comment line. *)
+
+val of_jsonl : string -> (Harness.Scenario.t * string, string) result
+(** Parse a {!to_jsonl} export back into (scenario, property name).
+    [Error] describes the first malformed field. Header lines and
+    non-[fuzz.scenario] records are ignored. *)
+
+type outcome =
+  | Reproduced of { property : string; message : string }
+      (** The property fired again on the replayed run. *)
+  | Clean of { property : string }
+      (** The property held — the reproducer did {e not} reproduce. *)
+
+val replay : Property.t -> Harness.Scenario.t -> outcome
+(** Run the scenario to its horizon and re-check the property. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -18,6 +18,7 @@ let default_dirs =
     "lib/mcheck";
     "lib/exec";
     "lib/stats";
+    "lib/fuzz";
   ]
 
 let is_ml f = Filename.check_suffix f ".ml"

@@ -58,6 +58,24 @@ let max_consecutive t = List.fold_left (fun acc o -> max acc o.count) 0 t.log
 let max_consecutive_for_sessions_from t time =
   List.fold_left (fun acc o -> if o.session_start >= time then max acc o.count else acc) 0 t.log
 
+(* Suffix form: only overtake events at or after [time] count, but a
+   victim's session may have started earlier (a starved victim's single
+   session spans the whole run — exactly the case the sessions-from
+   variant cannot see). Within one (overtaker, victim, session) group
+   the events after the cutoff are consecutive by construction, so the
+   group's post-cutoff cardinality is its consecutive count. *)
+let max_consecutive_after t time =
+  let key (o : overtake) = (o.overtaker, o.victim, o.session_start) in
+  let post = List.filter (fun o -> o.time >= time) t.log in
+  let sorted = List.sort (fun a b -> compare (key a) (key b)) post in
+  let rec go best current run = function
+    | [] -> max best run
+    | o :: rest ->
+        if current = Some (key o) then go best current (run + 1) rest
+        else go (max best run) (Some (key o)) 1 rest
+  in
+  go 0 None 0 sorted
+
 let windowed_max t ~window ~horizon =
   if window <= 0 then invalid_arg "Fairness.windowed_max: window must be positive";
   let buckets = (horizon / window) + 1 in

@@ -29,6 +29,15 @@ val max_consecutive_for_sessions_from : t -> Sim.Time.t -> int
 (** Highest count among overtakes whose victim's hungry session started at
     or after the given time — the quantity Theorem 3 bounds by 2. *)
 
+val max_consecutive_after : t -> Sim.Time.t -> int
+(** Highest number of consecutive overtakes of one victim by one
+    overtaker {e occurring} at or after the given time, within one
+    hungry session of the victim. Unlike
+    {!max_consecutive_for_sessions_from} this also sees sessions that
+    started before the cutoff — a starved victim's only session spans
+    the whole run, invisible to the sessions-from variant but unbounded
+    in this one. The suffix form of Theorem 3's bound. *)
+
 val windowed_max : t -> window:int -> horizon:Sim.Time.t -> (float * float) list
 (** For figure F3: per time window \[w*window, (w+1)*window), the maximum
     consecutive count of overtakes occurring in that window (0 when none). *)

@@ -16,5 +16,6 @@ let () =
       ("harness", Test_harness.suite);
       ("mcheck", Test_mcheck.suite);
       ("lint", Test_lint.suite);
+      ("fuzz", Test_fuzz.suite);
       ("soak", Test_soak.suite);
     ]
