@@ -361,31 +361,279 @@ let run_fuzz () =
     "note: every failing case minimizes to a few processes and a short horizon; each\n\
      reproducer replays to the same verdict from its scenario fields alone.\n"
 
+(* ------------------------------------------------------------------ *)
+(* scale: simulator-core scaling sweep                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Scenario for the scaling table: no crashes, no invariant polling, a
+   scripted detector — the run exercises exactly the engine + network +
+   daemon hot path. The horizon gives every process a handful of
+   complete think/eat sessions. *)
+let scale_scenario topology : Harness.Scenario.t =
+  {
+    Harness.Scenario.default with
+    name = "scale";
+    topology;
+    seed = 42L;
+    delay = Net.Delay.Uniform (1, 8);
+    detector = Harness.Scenario.Never;
+    algo = Harness.Scenario.Song_pike;
+    workload = Harness.Scenario.default_workload;
+    crashes = Harness.Scenario.No_crashes;
+    horizon = 1_200;
+    check_every = None;
+  }
+
+let scale_spec kind n : Cgraph.Topology.spec =
+  match kind with
+  | `Ring -> Cgraph.Topology.Ring n
+  | `Grid ->
+      let r = int_of_float (Float.round (sqrt (float_of_int n))) in
+      Cgraph.Topology.Grid (r, (n + r - 1) / r)
+  | `Scale_free -> Cgraph.Topology.Scale_free (n, 2, 42L)
+
+type scale_cell = {
+  label : string;
+  cell_n : int;
+  cell_edges : int;
+  cell_events : int;
+  cell_eats : int;
+  alloc_words : int;  (* words allocated by create+run+report: exact *)
+  live_words : int;   (* live-heap delta while the world is alive: advisory *)
+  seconds : float;
+}
+
+let words_of_bytes b = int_of_float (b /. float_of_int (Sys.word_size / 8))
+
+(* Cells run sequentially on the calling domain: Gc counters are the
+   measurement, and only a single-domain run keeps the allocation deltas
+   exact and reproducible. *)
+let run_scale_cell ~measure_live spec =
+  let scenario = scale_scenario spec in
+  let live0 =
+    if measure_live then begin
+      Gc.full_major ();
+      (Gc.stat ()).Gc.live_words
+    end
+    else 0
+  in
+  let alloc0 = Gc.allocated_bytes () in
+  let t0 = Sys.time () in
+  let w = Harness.World.create scenario in
+  Harness.World.advance w ~until:scenario.horizon;
+  let r = Harness.World.report w in
+  let seconds = Sys.time () -. t0 in
+  let alloc_words = words_of_bytes (Gc.allocated_bytes () -. alloc0) in
+  let live_words =
+    if measure_live then begin
+      Gc.full_major ();
+      max 0 ((Gc.stat ()).Gc.live_words - live0)
+    end
+    else 0
+  in
+  {
+    label = Cgraph.Topology.name spec;
+    cell_n = Cgraph.Graph.n r.graph;
+    cell_edges = Cgraph.Graph.edge_count r.graph;
+    cell_events = r.events_processed;
+    cell_eats = r.total_eats;
+    alloc_words;
+    live_words;
+    seconds;
+  }
+
+(* Engine-only throughput: a self-rescheduling event storm with spread
+   delays, per queue backend. *)
+let engine_micro backend =
+  let alloc0 = Gc.allocated_bytes () in
+  let t0 = Sys.time () in
+  let engine = Sim.Engine.create ~backend () in
+  let count = ref 0 in
+  let rec tick () =
+    incr count;
+    if !count < 200_000 then
+      ignore (Sim.Engine.schedule_after engine ~delay:(1 + ((!count * 7) mod 50)) tick)
+  in
+  ignore (Sim.Engine.schedule engine ~at:0 tick);
+  Sim.Engine.run_all engine;
+  let seconds = Sys.time () -. t0 in
+  (Sim.Engine.processed engine, words_of_bytes (Gc.allocated_bytes () -. alloc0), seconds)
+
+let run_scale ~(ctx : Harness.Experiments.ctx) ~smoke ~json ~baseline () =
+  print_endline
+    (if smoke then
+       "### SCALE — simulator-core scaling sweep (smoke: deterministic columns only)\n"
+     else "### SCALE — simulator-core scaling sweep\n");
+  let sizes = if smoke then [ 100; 1_000 ] else [ 100; 1_000; 10_000; 100_000 ] in
+  let cells =
+    List.concat_map
+      (fun kind -> List.map (fun n -> scale_spec kind n) sizes)
+      [ `Ring; `Grid; `Scale_free ]
+  in
+  let report = Report.create () in
+  Report.str report "schema" "daemon-sim-bench/1";
+  (* Engine micro, both backends: same event count, different queue. *)
+  let wheel_events, wheel_alloc, wheel_s = engine_micro `Wheel in
+  let heap_events, heap_alloc, heap_s = engine_micro `Heap in
+  assert (wheel_events = heap_events);
+  Report.int report "engine.wheel.events" wheel_events;
+  Report.int report "engine.wheel.alloc_words" wheel_alloc;
+  Report.float report "engine.wheel.run_seconds" wheel_s;
+  Report.int report "engine.heap.events" heap_events;
+  Report.int report "engine.heap.alloc_words" heap_alloc;
+  Report.float report "engine.heap.run_seconds" heap_s;
+  (* Model-checker throughput. *)
+  let mc_alloc0 = Gc.allocated_bytes () in
+  let mc_t0 = Sys.time () in
+  let mc =
+    Mcheck.Explore.bfs
+      {
+        Mcheck.Model.graph = Cgraph.Graph.of_edges ~n:2 [ (0, 1) ];
+        colors = [| 0; 1 |];
+        sessions = 2;
+        crash_budget = 0;
+        fp_budget = 0;
+      }
+  in
+  let mc_s = Sys.time () -. mc_t0 in
+  Report.int report "mcheck.pair2.states" mc.Mcheck.Explore.states;
+  Report.int report "mcheck.pair2.transitions" mc.transitions;
+  Report.int report "mcheck.pair2.alloc_words"
+    (words_of_bytes (Gc.allocated_bytes () -. mc_alloc0));
+  Report.float report "mcheck.pair2.run_seconds" mc_s;
+  (* The sweep itself. *)
+  let columns =
+    [
+      ("topology", Stats.Table.Left);
+      ("n", Stats.Table.Right);
+      ("edges", Stats.Table.Right);
+      ("events", Stats.Table.Right);
+      ("eats", Stats.Table.Right);
+      ("alloc w/proc", Stats.Table.Right);
+    ]
+    @
+    if smoke then []
+    else
+      [
+        ("events/s", Stats.Table.Right);
+        ("live B/proc", Stats.Table.Right);
+        ("time", Stats.Table.Right);
+      ]
+  in
+  let table = Stats.Table.create ~title:"SCALE: one world per cell, hot path only" ~columns in
+  List.iter
+    (fun spec ->
+      let c = run_scale_cell ~measure_live:(not smoke) spec in
+      let prefix = Printf.sprintf "scale.%s" c.label in
+      Report.int report (prefix ^ ".n") c.cell_n;
+      Report.int report (prefix ^ ".edges") c.cell_edges;
+      Report.int report (prefix ^ ".events") c.cell_events;
+      Report.int report (prefix ^ ".eats") c.cell_eats;
+      Report.int report (prefix ^ ".alloc_words") c.alloc_words;
+      Report.float report (prefix ^ ".run_seconds") c.seconds;
+      Report.float report (prefix ^ ".events_per_sec")
+        (if c.seconds > 0.0 then float_of_int c.cell_events /. c.seconds else 0.0);
+      if not smoke then Report.int report (prefix ^ ".live_words") c.live_words;
+      Stats.Table.add_row table
+        ([
+           c.label;
+           Stats.Table.cell_int c.cell_n;
+           Stats.Table.cell_int c.cell_edges;
+           Stats.Table.cell_int c.cell_events;
+           Stats.Table.cell_int c.cell_eats;
+           Stats.Table.cell_int (c.alloc_words / max 1 c.cell_n);
+         ]
+        @
+        if smoke then []
+        else
+          [
+            Printf.sprintf "%.0f" (float_of_int c.cell_events /. Float.max 1e-9 c.seconds);
+            Stats.Table.cell_int (8 * c.live_words / max 1 c.cell_n);
+            Printf.sprintf "%.2f s" c.seconds;
+          ]))
+    cells;
+  (* Fuzzing throughput, last: it runs on the context's domain count, and
+     once a domain has been spawned and joined, OCaml 5's GC merges the
+     dead domain's counters into [Gc.allocated_bytes] at an arbitrary
+     later point — so every exact allocation delta above must be measured
+     before the first spawn. The campaign counts themselves are identical
+     for any --domains (the pool's contract), so no allocation metric is
+     recorded for this section. *)
+  let fz_t0 = Sys.time () in
+  let fz = Fuzz.Campaign.run ~domains:ctx.domains ~profile:Fuzz.Gen.Sound ~seed:11L ~cases:40 () in
+  let fz_s = Sys.time () -. fz_t0 in
+  Report.int report "fuzz.sound40.cases" fz.Fuzz.Campaign.cases;
+  Report.int report "fuzz.sound40.failures" (List.length fz.failures);
+  Report.int report "fuzz.sound40.total_events" fz.total_events;
+  Report.float report "fuzz.sound40.run_seconds" fz_s;
+  Stats.Table.print table;
+  print_endline
+    "note: alloc w/proc is the exact per-process allocation of a whole run (engine +\n\
+     network + daemon); live B/proc is the resident footprint while the world is\n\
+     alive — both should track the degree, not n. Wall-clock columns are advisory.\n";
+  (match json with
+  | None -> ()
+  | Some path ->
+      Report.write report path;
+      Printf.printf "wrote %s\n" path);
+  match baseline with
+  | None -> ()
+  | Some path ->
+      let verdict =
+        Report.compare_metrics ~baseline:(Report.read path) ~current:(Report.parse (Report.to_string report)) ()
+      in
+      List.iter (fun w -> Printf.printf "advisory: %s\n" w) verdict.Report.warnings;
+      List.iter (fun f -> Printf.printf "FAIL: %s\n" f) verdict.Report.failures;
+      if verdict.Report.failures = [] then
+        Printf.printf "baseline %s: deterministic metrics match\n" path
+      else begin
+        Printf.printf "baseline %s: %d deterministic metric(s) changed\n" path
+          (List.length verdict.Report.failures);
+        exit 1
+      end
+
 let usage () =
   prerr_endline
-    "usage: main.exe [ID ...] [--domains N] [--seeds N]\n\
-     IDs: e1..e12, f1..f6, mc, fuzz, perf (all when omitted).\n\
+    "usage: main.exe [ID ...] [--domains N] [--seeds N] [--smoke] [--json FILE] [--baseline FILE]\n\
+     IDs: e1..e12, f1..f6, mc, fuzz, perf, scale (all but scale when omitted).\n\
      --domains caps batch/sweep parallelism (default: recommended domain count;\n\
-     output is identical for any value); --seeds sets seeds per batch row.";
+     output is identical for any value); --seeds sets seeds per batch row.\n\
+     scale sweeps the simulator core over n x topology; --smoke restricts it to\n\
+     n <= 1000 and deterministic columns, --json writes the machine-readable\n\
+     report, --baseline compares against a committed report (exit 1 when a\n\
+     deterministic metric diverges; wall-clock deltas are advisory).";
   exit 2
+
+type opts = { smoke : bool; json : string option; baseline : string option }
 
 let () =
   let default = Harness.Experiments.default_ctx () in
-  let rec parse args (ctx : Harness.Experiments.ctx) ids =
+  let rec parse args (ctx : Harness.Experiments.ctx) (opts : opts) ids =
     match args with
-    | [] -> (ctx, List.rev ids)
+    | [] -> (ctx, opts, List.rev ids)
     | "--domains" :: v :: rest -> (
         match int_of_string_opt v with
-        | Some d when d >= 1 -> parse rest { ctx with domains = d } ids
+        | Some d when d >= 1 -> parse rest { ctx with domains = d } opts ids
         | _ -> usage ())
     | "--seeds" :: v :: rest -> (
         match int_of_string_opt v with
-        | Some s when s >= 1 -> parse rest { ctx with seeds = s } ids
+        | Some s when s >= 1 -> parse rest { ctx with seeds = s } opts ids
         | _ -> usage ())
-    | ("--domains" | "--seeds" | "--help" | "-h") :: _ -> usage ()
-    | id :: rest -> parse rest ctx (id :: ids)
+    | "--smoke" :: rest -> parse rest ctx { opts with smoke = true } ids
+    | "--json" :: v :: rest -> parse rest ctx { opts with json = Some v } ids
+    | "--baseline" :: v :: rest -> parse rest ctx { opts with baseline = Some v } ids
+    | ("--domains" | "--seeds" | "--json" | "--baseline" | "--help" | "-h") :: _ -> usage ()
+    | id :: rest -> parse rest ctx opts (id :: ids)
   in
-  let ctx, ids = parse (List.tl (Array.to_list Sys.argv)) default [] in
+  let ctx, opts, ids =
+    parse
+      (List.tl (Array.to_list Sys.argv))
+      default
+      { smoke = false; json = None; baseline = None }
+      []
+  in
+  (* "scale" runs only when asked for: the 100k-process cells are not
+     part of the default reproduction sweep. *)
   let wants x = ids = [] || List.mem x ids in
   List.iter
     (fun (e : Harness.Experiments.t) ->
@@ -393,4 +641,6 @@ let () =
     Harness.Experiments.all;
   if wants "mc" then run_mc ();
   if wants "fuzz" then run_fuzz ();
-  if wants "perf" then run_perf ()
+  if wants "perf" then run_perf ();
+  if List.mem "scale" ids then
+    run_scale ~ctx ~smoke:opts.smoke ~json:opts.json ~baseline:opts.baseline ()

@@ -70,6 +70,16 @@ let contended_arg =
 let trace_arg =
   Arg.(value & flag & info [ "trace" ] ~doc:"Print the dining-layer event trace.")
 
+let queue_arg =
+  Arg.(
+    value
+    & opt (Arg.enum [ ("wheel", (`Wheel : Sim.Engine.backend)); ("heap", `Heap) ]) `Wheel
+    & info [ "queue" ] ~docv:"BACKEND"
+        ~doc:
+          "Engine event-queue backend: $(b,wheel) (hierarchical timing wheel, the \
+           default) or $(b,heap) (binary-heap reference). Both produce bit-identical \
+           runs; the flag exists to cross-check and to measure the difference.")
+
 let dot_arg =
   Arg.(
     value
@@ -183,7 +193,7 @@ let metrics_arg =
            histograms, engine gauges) after the report.")
 
 let run_cmd =
-  let go topology seed horizon crashes detector algo contended trace show_metrics dot =
+  let go topology seed horizon crashes detector algo contended trace show_metrics dot queue =
     let scenario =
       make_scenario ~name:"cli" ~topology ~seed ~horizon ~crashes ~detector ~algo ~contended
     in
@@ -192,7 +202,7 @@ let run_cmd =
       Sim.Trace.on_record tracer (fun record ->
           Format.printf "%a@." Sim.Trace.pp_record record);
     let metrics = Obs.Metrics.create () in
-    let report = Harness.Run.run ~trace:tracer ~metrics scenario in
+    let report = Harness.Run.run ~backend:queue ~trace:tracer ~metrics scenario in
     print_report report;
     if show_metrics then Format.printf "metrics:@.%a" Obs.Metrics.pp metrics;
     match dot with
@@ -214,7 +224,7 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run one dining scenario and report every paper metric.")
     Term.(
       const go $ topology_arg $ seed_arg $ horizon_arg $ crashes_arg $ detector_arg $ algo_arg
-      $ contended_arg $ trace_arg $ metrics_arg $ dot_arg)
+      $ contended_arg $ trace_arg $ metrics_arg $ dot_arg $ queue_arg)
 
 (* ------------------------------------------------------------------ *)
 (* experiments                                                          *)
@@ -339,7 +349,7 @@ let trace_cmd =
       & opt (some string) None
       & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the trace to $(docv) instead of stdout.")
   in
-  let go topology seed horizon crashes detector algo contended runs domains out =
+  let go topology seed horizon crashes detector algo contended runs domains out queue =
     let capture k =
       let seed = Int64.add seed (Int64.of_int k) in
       let scenario =
@@ -347,7 +357,7 @@ let trace_cmd =
           ~contended
       in
       let tracer = Sim.Trace.collecting () in
-      let (_ : Harness.Run.report) = Harness.Run.run ~trace:tracer scenario in
+      let (_ : Harness.Run.report) = Harness.Run.run ~backend:queue ~trace:tracer scenario in
       let buf = Buffer.create 65536 in
       Buffer.add_string buf
         (Printf.sprintf "# daemon_sim trace: topology=%s algo=%s detector=%s seed=%Ld horizon=%d events=%d\n"
@@ -380,7 +390,7 @@ let trace_cmd =
           $(b,tracediff).")
     Term.(
       const go $ topology_arg $ seed_arg $ horizon_arg $ crashes_arg $ detector_arg $ algo_arg
-      $ contended_arg $ runs_arg $ domains_arg $ out_arg)
+      $ contended_arg $ runs_arg $ domains_arg $ out_arg $ queue_arg)
 
 let tracediff_cmd =
   let file_arg pos_i docv =

@@ -136,6 +136,8 @@ let create ~engine ~faults ~graph ~delay ~rng ~detector () =
   let network =
     Net.Network.create ~engine ~graph ~delay ~faults ~rng
       ~kind:(function Req -> "request" | Fk -> "fork")
+      ~kind_index:(function Req -> 0 | Fk -> 1)
+      ~kind_names:[| "request"; "fork" |]
       ~handler:(fun ~dst ~src msg ->
         match msg with
         | Req -> receive_request t dst ~from:src

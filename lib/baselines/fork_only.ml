@@ -135,6 +135,8 @@ let create ~engine ~faults ~graph ~delay ~rng ~detector ?colors () =
   let network =
     Net.Network.create ~engine ~graph ~delay ~faults ~rng
       ~kind:(function Req _ -> "request" | Fk -> "fork")
+      ~kind_index:(function Req _ -> 0 | Fk -> 1)
+      ~kind_names:[| "request"; "fork" |]
       ~handler:(fun ~dst ~src msg ->
         match msg with
         | Req color -> receive_request t dst ~from:src ~color

@@ -1,70 +1,75 @@
 open Types
 
-(* Per-process local state. All per-neighbor variables are arrays indexed
-   by the position of the neighbor in [nbrs] (the paper's subscript "ij"
-   becomes [field.(k)] with [nbrs.(k) = j]). *)
-type proc = {
-  pid : pid;
-  color : int;
-  nbrs : pid array;
-  index_of : (pid, int) Hashtbl.t;
-  mutable phase : phase;
-  mutable inside : bool;
-  pinged : bool array;
-  ack : bool array;
-  granted : int array; (* doorway acks granted to this neighbor this session *)
-  deferred : bool array;
-  fork : bool array;
-  token : bool array;
-  mutable eats : int;
-}
+(* Process and per-edge state lives in a struct-of-arrays process table:
+   per-process scalars are flat arrays indexed by pid, per-neighbor
+   variables are flat arrays indexed by the graph's directed slot (the
+   paper's subscript "ij" becomes an index into the CSR row of i, with
+   Cgraph.Graph.slot_dst giving j). The single-bit per-neighbor
+   variables share one byte per slot. The layout keeps the per-step work
+   allocation-free: evaluating guards, sending and receiving touch only
+   ints and bytes, never tuples or hash tables. *)
 
-(* In-flight / absorbed message accounting per directed pair and kind,
-   used only by the executable-lemma checks. *)
-type wire = { mutable flying : int; mutable absorbed : int }
+let pinged_bit = 1
+let ack_bit = 2
+let deferred_bit = 4
+let fork_bit = 8
+let token_bit = 16
+
+(* Phases as byte codes; the constructors themselves are immediate, so
+   decoding allocates nothing. *)
+let phase_code = function Thinking -> 0 | Hungry -> 1 | Eating -> 2
+let code_phase = function 0 -> Thinking | 1 -> Hungry | _ -> Eating
 
 type t = {
   engine : Sim.Engine.t;
   faults : Net.Faults.t;
   graph : Cgraph.Graph.t;
   detector : Fd.Detector.t;
-  procs : proc array;
+  n : int;
+  off : int array; (* CSR offsets, owned by the graph *)
+  nbr : pid array; (* CSR targets, owned by the graph *)
+  rev : int array; (* slot (i,j) -> slot (j,i) *)
+  color : int array;
+  phase_a : Bytes.t; (* pid -> phase code *)
+  inside_a : Bytes.t; (* pid -> 0/1 *)
+  flags : Bytes.t; (* slot -> pinged/ack/deferred/fork/token bits *)
+  granted : int array; (* slot -> doorway acks granted this session *)
+  eats : int array;
+  (* In-flight / absorbed message accounting per (directed slot, kind),
+     used only by the executable-lemma checks. *)
+  fly : int array; (* slot * 4 + kind_index *)
+  absorbed : int array;
   mutable net : message Net.Network.t option; (* set once in create *)
   mutable listeners : (pid -> phase -> unit) list;
-  wires : (pid * pid * string, wire) Hashtbl.t;
   trace : Sim.Trace.t;
   acks_per_session : int;
 }
 
 let net t = match t.net with Some n -> n | None -> assert false
 let now t = Sim.Engine.now t.engine
-let proc t i = t.procs.(i)
+let phase t i = code_phase (Char.code (Bytes.get t.phase_a i))
+let set_phase t i p = Bytes.set t.phase_a i (Char.chr (phase_code p))
+let inside t i = Bytes.get t.inside_a i <> '\000'
+let set_inside t i b = Bytes.set t.inside_a i (if b then '\001' else '\000')
+let flag t s bit = Char.code (Bytes.get t.flags s) land bit <> 0
 
-let nbr_index p j =
-  match Hashtbl.find_opt p.index_of j with
-  | Some k -> k
-  | None -> invalid_arg (Printf.sprintf "dining: %d is not a neighbor of %d" j p.pid)
-
-let wire t src dst kind =
-  let key = (src, dst, kind) in
-  match Hashtbl.find_opt t.wires key with
-  | Some w -> w
-  | None ->
-      let w = { flying = 0; absorbed = 0 } in
-      Hashtbl.add t.wires key w;
-      w
+let set_flag t s bit on =
+  let cur = Char.code (Bytes.get t.flags s) in
+  Bytes.set t.flags s (Char.unsafe_chr (if on then cur lor bit else cur land lnot bit))
 
 let emit t i tag detail = Sim.Trace.emit t.trace ~time:(now t) ~subject:i ~tag detail
 
-let send t ~src ~dst msg =
-  let w = wire t src dst (message_kind msg) in
-  w.flying <- w.flying + 1;
+(* [slot] is the directed slot of (src, dst) — the caller always has it
+   in hand, either from its CSR iteration or via [rev]. *)
+let send t ~slot ~src ~dst msg =
+  let w = (slot * message_kind_count) + message_kind_index msg in
+  t.fly.(w) <- t.fly.(w) + 1;
   Net.Network.send (net t) ~src ~dst msg
 
 let notify_phase t i =
-  let p = proc t i in
-  Obs.Recorder.phase t.trace ~time:(now t) ~pid:i ~phase:(Types.phase_to_string p.phase);
-  List.iter (fun f -> f i p.phase) t.listeners
+  let p = phase t i in
+  Obs.Recorder.phase t.trace ~time:(now t) ~pid:i ~phase:(Types.phase_to_string p);
+  List.iter (fun f -> f i p) t.listeners
 
 (* ------------------------------------------------------------------ *)
 (* Guarded internal actions (Actions 2, 5, 6, 9).                      *)
@@ -77,50 +82,50 @@ let suspects t i j = t.detector.Fd.Detector.suspects ~observer:i ~target:j
    per hungry session, so re-evaluation on every event is safe. *)
 let try_actions t i =
   if not (Net.Faults.is_crashed t.faults i) then begin
-    let p = proc t i in
-    if p.phase = Hungry then begin
-      if not p.inside then begin
+    if phase t i = Hungry then begin
+      let lo = t.off.(i) and hi = t.off.(i + 1) in
+      if not (inside t i) then begin
         (* Action 2: request acks from neighbors with no ack and no
            pending ping. *)
-        Array.iteri
-          (fun k j ->
-            if (not p.pinged.(k)) && not p.ack.(k) then begin
-              p.pinged.(k) <- true;
-              send t ~src:i ~dst:j Ping
-            end)
-          p.nbrs;
+        for s = lo to hi - 1 do
+          if not (flag t s (pinged_bit lor ack_bit)) then begin
+            set_flag t s pinged_bit true;
+            send t ~slot:s ~src:i ~dst:t.nbr.(s) Ping
+          end
+        done;
         (* Action 5: enter the doorway once every neighbor granted an ack
            or is suspected. *)
         let may_enter = ref true in
-        Array.iteri
-          (fun k j -> if not (p.ack.(k) || suspects t i j) then may_enter := false)
-          p.nbrs;
+        for s = lo to hi - 1 do
+          if not (flag t s ack_bit || suspects t i t.nbr.(s)) then may_enter := false
+        done;
         if !may_enter then begin
-          p.inside <- true;
-          Array.fill p.ack 0 (Array.length p.ack) false;
-          Array.fill p.granted 0 (Array.length p.granted) 0;
+          set_inside t i true;
+          for s = lo to hi - 1 do
+            set_flag t s ack_bit false;
+            t.granted.(s) <- 0
+          done;
           emit t i "enter_doorway" ""
         end
       end;
-      if p.inside then begin
+      if inside t i then begin
         (* Action 6: request each missing fork by surrendering the edge
            token, carrying our color. *)
-        Array.iteri
-          (fun k j ->
-            if p.token.(k) && not p.fork.(k) then begin
-              p.token.(k) <- false;
-              send t ~src:i ~dst:j (Request p.color)
-            end)
-          p.nbrs;
+        for s = lo to hi - 1 do
+          if flag t s token_bit && not (flag t s fork_bit) then begin
+            set_flag t s token_bit false;
+            send t ~slot:s ~src:i ~dst:t.nbr.(s) (Request t.color.(i))
+          end
+        done;
         (* Action 9: eat once every neighbor's fork is held or the
            neighbor is suspected. *)
         let may_eat = ref true in
-        Array.iteri
-          (fun k j -> if not (p.fork.(k) || suspects t i j) then may_eat := false)
-          p.nbrs;
+        for s = lo to hi - 1 do
+          if not (flag t s fork_bit || suspects t i t.nbr.(s)) then may_eat := false
+        done;
         if !may_eat then begin
-          p.phase <- Eating;
-          p.eats <- p.eats + 1;
+          set_phase t i Eating;
+          t.eats.(i) <- t.eats.(i) + 1;
           notify_phase t i
         end
       end
@@ -128,7 +133,9 @@ let try_actions t i =
   end
 
 (* ------------------------------------------------------------------ *)
-(* Message handlers (Actions 3, 4, 7, 8).                              *)
+(* Message handlers (Actions 3, 4, 7, 8). [k] is the directed slot of  *)
+(* (i, j): the receiver's row position for the sender, which is also   *)
+(* the send slot for any reply.                                        *)
 (* ------------------------------------------------------------------ *)
 
 (* Action 3: grant or defer a doorway ack. The paper grants at most one
@@ -137,63 +144,57 @@ let try_actions t i =
    yielding eventual (m+1)-bounded waiting — the fairness knob studied by
    experiment E11. Thinking processes grant unconditionally, as in the
    paper. *)
-let receive_ping t i ~from:j =
-  let p = proc t i in
-  let k = nbr_index p j in
-  if p.inside || (p.phase = Hungry && p.granted.(k) >= t.acks_per_session) then
-    p.deferred.(k) <- true
+let receive_ping t i ~from:j ~k =
+  if inside t i || (phase t i = Hungry && t.granted.(k) >= t.acks_per_session) then
+    set_flag t k deferred_bit true
   else begin
-    send t ~src:i ~dst:j Ack;
-    if p.phase = Hungry then p.granted.(k) <- p.granted.(k) + 1
+    send t ~slot:k ~src:i ~dst:j Ack;
+    if phase t i = Hungry then t.granted.(k) <- t.granted.(k) + 1
   end
 
 (* Action 4: record a received ack. *)
-let receive_ack t i ~from:j =
-  let p = proc t i in
-  let k = nbr_index p j in
-  p.ack.(k) <- p.phase = Hungry && not p.inside;
-  p.pinged.(k) <- false;
+let receive_ack t i ~from:_ ~k =
+  set_flag t k ack_bit (phase t i = Hungry && not (inside t i));
+  set_flag t k pinged_bit false;
   try_actions t i
 
 (* Action 7: receive a fork request (the edge token) and grant or defer. *)
-let receive_request t i ~from:j ~color:color_j =
-  let p = proc t i in
-  let k = nbr_index p j in
+let receive_request t i ~from:j ~k ~color:color_j =
   (* Lemma 1.1: the recipient of a fork request holds the requested fork. *)
-  if not p.fork.(k) then
+  if not (flag t k fork_bit) then
     raise
       (Invariant_violation
          (Printf.sprintf "Lemma 1.1: %d received a fork request from %d without the fork" i j));
-  p.token.(k) <- true;
-  if (not p.inside) || (p.phase = Hungry && p.color < color_j) then begin
-    p.fork.(k) <- false;
-    send t ~src:i ~dst:j Fork
+  set_flag t k token_bit true;
+  if (not (inside t i)) || (phase t i = Hungry && t.color.(i) < color_j) then begin
+    set_flag t k fork_bit false;
+    send t ~slot:k ~src:i ~dst:j Fork
   end;
   (* Losing a fork while hungry inside re-enables Action 6. *)
   try_actions t i
 
 (* Action 8: receive a fork. *)
-let receive_fork t i ~from:j =
-  let p = proc t i in
-  let k = nbr_index p j in
+let receive_fork t i ~from:j ~k =
   (* Per the proof of Lemma 1.1: a fork recipient cannot hold the token. *)
-  if p.token.(k) then
+  if flag t k token_bit then
     raise
       (Invariant_violation
          (Printf.sprintf "Lemma 1.1: %d received the fork from %d while holding the token" i j));
-  if p.fork.(k) then
+  if flag t k fork_bit then
     raise (Invariant_violation (Printf.sprintf "Lemma 1.2: duplicated fork on edge (%d,%d)" i j));
-  p.fork.(k) <- true;
+  set_flag t k fork_bit true;
   try_actions t i
 
 let dispatch t ~dst ~src msg =
-  let w = wire t src dst (message_kind msg) in
-  w.flying <- w.flying - 1;
+  let sd = Cgraph.Graph.dir_index t.graph src dst in
+  let w = (sd * message_kind_count) + message_kind_index msg in
+  t.fly.(w) <- t.fly.(w) - 1;
+  let k = t.rev.(sd) in
   match msg with
-  | Ping -> receive_ping t dst ~from:src
-  | Ack -> receive_ack t dst ~from:src
-  | Request color -> receive_request t dst ~from:src ~color
-  | Fork -> receive_fork t dst ~from:src
+  | Ping -> receive_ping t dst ~from:src ~k
+  | Ack -> receive_ack t dst ~from:src ~k
+  | Request color -> receive_request t dst ~from:src ~k ~color
+  | Fork -> receive_fork t dst ~from:src ~k
 
 (* ------------------------------------------------------------------ *)
 (* External actions (Actions 1 and 10).                                *)
@@ -201,9 +202,8 @@ let dispatch t ~dst ~src msg =
 
 let become_hungry t i =
   if not (Net.Faults.is_crashed t.faults i) then begin
-    let p = proc t i in
-    if p.phase = Thinking then begin
-      p.phase <- Hungry;
+    if phase t i = Thinking then begin
+      set_phase t i Hungry;
       notify_phase t i;
       try_actions t i
     end
@@ -213,24 +213,22 @@ let become_hungry t i =
    deferred fork requests and deferred acks. *)
 let stop_eating t i =
   if not (Net.Faults.is_crashed t.faults i) then begin
-    let p = proc t i in
-    if p.phase = Eating then begin
-      p.inside <- false;
-      p.phase <- Thinking;
-      Array.iteri
-        (fun k j ->
-          if p.token.(k) && p.fork.(k) then begin
-            p.fork.(k) <- false;
-            send t ~src:i ~dst:j Fork
-          end)
-        p.nbrs;
-      Array.iteri
-        (fun k j ->
-          if p.deferred.(k) then begin
-            p.deferred.(k) <- false;
-            send t ~src:i ~dst:j Ack
-          end)
-        p.nbrs;
+    if phase t i = Eating then begin
+      set_inside t i false;
+      set_phase t i Thinking;
+      let lo = t.off.(i) and hi = t.off.(i + 1) in
+      for s = lo to hi - 1 do
+        if flag t s token_bit && flag t s fork_bit then begin
+          set_flag t s fork_bit false;
+          send t ~slot:s ~src:i ~dst:t.nbr.(s) Fork
+        end
+      done;
+      for s = lo to hi - 1 do
+        if flag t s deferred_bit then begin
+          set_flag t s deferred_bit false;
+          send t ~slot:s ~src:i ~dst:t.nbr.(s) Ack
+        end
+      done;
       notify_phase t i
     end
   end
@@ -251,50 +249,56 @@ let create ~engine ~faults ~graph ~delay ~rng ~detector ?colors ?(trace = Sim.Tr
         c
     | None -> Cgraph.Coloring.greedy graph
   in
-  let procs =
-    Array.init n (fun i ->
-        let nbrs = Cgraph.Graph.neighbors graph i in
-        let deg = Array.length nbrs in
-        let index_of = Hashtbl.create (max 1 deg) in
-        Array.iteri (fun k j -> Hashtbl.add index_of j k) nbrs;
-        {
-          pid = i;
-          color = colors.(i);
-          nbrs;
-          index_of;
-          phase = Thinking;
-          inside = false;
-          pinged = Array.make deg false;
-          ack = Array.make deg false;
-          granted = Array.make deg 0;
-          deferred = Array.make deg false;
-          (* The fork starts at the higher-colored endpoint, the token at
-             the lower-colored one. *)
-          fork = Array.map (fun j -> colors.(i) > colors.(j)) nbrs;
-          token = Array.map (fun j -> colors.(i) < colors.(j)) nbrs;
-          eats = 0;
-        })
-  in
+  let off = Cgraph.Graph.csr_offsets graph in
+  let nbr = Cgraph.Graph.csr_targets graph in
+  let slots = Cgraph.Graph.dir_count graph in
+  let rev = Array.make slots 0 in
+  let flags = Bytes.make slots '\000' in
+  for i = 0 to n - 1 do
+    for s = off.(i) to off.(i + 1) - 1 do
+      let j = nbr.(s) in
+      rev.(s) <- Cgraph.Graph.dir_index graph j i;
+      (* The fork starts at the higher-colored endpoint, the token at
+         the lower-colored one. *)
+      let bits =
+        (if colors.(i) > colors.(j) then fork_bit else 0)
+        lor if colors.(i) < colors.(j) then token_bit else 0
+      in
+      Bytes.set flags s (Char.chr bits)
+    done
+  done;
   let t =
     {
       engine;
       faults;
       graph;
       detector;
-      procs;
+      n;
+      off;
+      nbr;
+      rev;
+      color = colors;
+      phase_a = Bytes.make n '\000';
+      inside_a = Bytes.make n '\000';
+      flags;
+      granted = Array.make slots 0;
+      eats = Array.make n 0;
+      fly = Array.make (slots * message_kind_count) 0;
+      absorbed = Array.make (slots * message_kind_count) 0;
       net = None;
       listeners = [];
-      wires = Hashtbl.create 64;
       trace;
       acks_per_session;
     }
   in
   let network =
     Net.Network.create ~engine ~graph ~delay ~faults ~rng ~kind:message_kind
+      ~kind_index:message_kind_index ~kind_names:[| "ping"; "ack"; "request"; "fork" |]
       ~on_drop:(fun ~src ~dst msg ->
-        let w = wire t src dst (message_kind msg) in
-        w.flying <- w.flying - 1;
-        w.absorbed <- w.absorbed + 1)
+        let sd = Cgraph.Graph.dir_index t.graph src dst in
+        let w = (sd * message_kind_count) + message_kind_index msg in
+        t.fly.(w) <- t.fly.(w) - 1;
+        t.absorbed.(w) <- t.absorbed.(w) + 1)
       ?metrics
       ~handler:(fun ~dst ~src msg -> dispatch t ~dst ~src msg)
       ()
@@ -308,29 +312,31 @@ let create ~engine ~faults ~graph ~delay ~rng ~detector ?colors ?(trace = Sim.Tr
 (* Introspection.                                                      *)
 (* ------------------------------------------------------------------ *)
 
-let phase t i = (proc t i).phase
-let inside_doorway t i = (proc t i).inside
-let color t i = (proc t i).color
-let holds_fork t i j = (proc t i).fork.(nbr_index (proc t i) j)
-let holds_token t i j = (proc t i).token.(nbr_index (proc t i) j)
-let eat_count t i = (proc t i).eats
-let total_eats t = Array.fold_left (fun acc p -> acc + p.eats) 0 t.procs
+let inside_doorway t i = inside t i
+let color t i = t.color.(i)
+let holds_fork t i j = flag t (Cgraph.Graph.dir_index t.graph i j) fork_bit
+let holds_token t i j = flag t (Cgraph.Graph.dir_index t.graph i j) token_bit
+let eat_count t i = t.eats.(i)
+let total_eats t = Array.fold_left ( + ) 0 t.eats
 let add_listener t f = t.listeners <- t.listeners @ [ f ]
 let network_stats t = Net.Network.stats (net t)
 
+let max_color t =
+  let best = ref 0 in
+  for i = 0 to t.n - 1 do
+    if t.color.(i) > !best then best := t.color.(i)
+  done;
+  !best
+
 let footprint_bits t i =
-  let p = proc t i in
-  let max_color = Array.fold_left (fun acc q -> max acc q.color) 0 t.procs in
   let rec bits acc v = if v <= 0 then max acc 1 else bits (acc + 1) (v lsr 1) in
-  2 + 1 + bits 0 max_color + (6 * Array.length p.nbrs)
+  2 + 1 + bits 0 (max_color t) + (6 * Cgraph.Graph.degree t.graph i)
 
 let max_message_bits t =
-  let n = Array.length t.procs in
-  let max_color = Array.fold_left (fun acc q -> max acc q.color) 0 t.procs in
   List.fold_left
-    (fun acc m -> max acc (message_bits ~n m))
+    (fun acc m -> max acc (message_bits ~n:t.n m))
     0
-    [ Ping; Ack; Request max_color; Fork ]
+    [ Ping; Ack; Request (max_color t); Fork ]
 
 (* ------------------------------------------------------------------ *)
 (* Executable lemmas.                                                  *)
@@ -338,89 +344,79 @@ let max_message_bits t =
 
 let check_invariants t =
   let fail fmt = Format.kasprintf (fun s -> raise (Invariant_violation s)) fmt in
-  let flying src dst kind =
-    match Hashtbl.find_opt t.wires (src, dst, kind) with Some w -> w.flying | None -> 0
-  in
-  let absorbed src dst kind =
-    match Hashtbl.find_opt t.wires (src, dst, kind) with Some w -> w.absorbed | None -> 0
-  in
-  Array.iter
-    (fun p ->
-      if p.phase = Eating && not p.inside then
-        fail "process %d eats outside the doorway" p.pid;
-      Array.iteri
-        (fun k _j ->
-          if p.ack.(k) && not (p.phase = Hungry && not p.inside) then
-            fail "process %d holds an ack while not hungry-outside" p.pid)
-        p.nbrs)
-    t.procs;
+  let flying s kind = t.fly.((s * message_kind_count) + kind) in
+  let absorbed s kind = t.absorbed.((s * message_kind_count) + kind) in
+  let ping_k = 0 and ack_k = 1 and request_k = 2 and fork_k = 3 in
+  for i = 0 to t.n - 1 do
+    if phase t i = Eating && not (inside t i) then fail "process %d eats outside the doorway" i;
+    for s = t.off.(i) to t.off.(i + 1) - 1 do
+      if flag t s ack_bit && not (phase t i = Hungry && not (inside t i)) then
+        fail "process %d holds an ack while not hungry-outside" i
+    done
+  done;
   Cgraph.Graph.iter_edges t.graph (fun i j ->
-      let pi = proc t i and pj = proc t j in
-      let ki = nbr_index pi j and kj = nbr_index pj i in
+      let si = Cgraph.Graph.dir_index t.graph i j in
+      let sj = t.rev.(si) in
       (* Lemma 1.2 for forks, extended to crash absorption: exactly one
          fork per edge, wherever it is. *)
       let forks =
-        (if pi.fork.(ki) then 1 else 0)
-        + (if pj.fork.(kj) then 1 else 0)
-        + flying i j "fork" + flying j i "fork"
-        + absorbed i j "fork" + absorbed j i "fork"
+        (if flag t si fork_bit then 1 else 0)
+        + (if flag t sj fork_bit then 1 else 0)
+        + flying si fork_k + flying sj fork_k + absorbed si fork_k + absorbed sj fork_k
       in
       if forks <> 1 then fail "edge (%d,%d): %d forks (expected exactly 1)" i j forks;
       (* Same conservation for the edge token. *)
       let tokens =
-        (if pi.token.(ki) then 1 else 0)
-        + (if pj.token.(kj) then 1 else 0)
-        + flying i j "request" + flying j i "request"
-        + absorbed i j "request" + absorbed j i "request"
+        (if flag t si token_bit then 1 else 0)
+        + (if flag t sj token_bit then 1 else 0)
+        + flying si request_k + flying sj request_k
+        + absorbed si request_k + absorbed sj request_k
       in
       if tokens <> 1 then fail "edge (%d,%d): %d tokens (expected exactly 1)" i j tokens;
-      (* Lemma 2.2: [pinged] reflects exactly one pending ping. *)
-      let check_ping a b (pa : proc) (pb : proc) ka kb =
+      (* Lemma 2.2: [pinged] reflects exactly one pending ping. [sa] is
+         the slot (a, b) and [sb] its reverse. *)
+      let check_ping a b sa sb =
         let pending =
-          flying a b "ping" + absorbed a b "ping"
-          + (if pb.deferred.(kb) then 1 else 0)
-          + flying b a "ack" + absorbed b a "ack"
+          flying sa ping_k + absorbed sa ping_k
+          + (if flag t sb deferred_bit then 1 else 0)
+          + flying sb ack_k + absorbed sb ack_k
         in
-        let expected = if pa.pinged.(ka) then 1 else 0 in
+        let expected = if flag t sa pinged_bit then 1 else 0 in
         if pending <> expected then
-          fail "pair (%d,%d): pinged=%b but %d pending ping/ack artifacts" a b pa.pinged.(ka)
-            pending
+          fail "pair (%d,%d): pinged=%b but %d pending ping/ack artifacts" a b
+            (flag t sa pinged_bit) pending
       in
-      check_ping i j pi pj ki kj;
-      check_ping j i pj pi kj ki;
+      check_ping i j si sj;
+      check_ping j i sj si;
       (* Section 7: at most 4 dining messages in transit per edge. *)
-      let in_transit =
-        List.fold_left
-          (fun acc kind -> acc + flying i j kind + flying j i kind)
-          0 [ "ping"; "ack"; "request"; "fork" ]
-      in
-      if in_transit > 4 then fail "edge (%d,%d): %d messages in transit (> 4)" i j in_transit)
+      let in_transit = ref 0 in
+      for kind = 0 to message_kind_count - 1 do
+        in_transit := !in_transit + flying si kind + flying sj kind
+      done;
+      if !in_transit > 4 then fail "edge (%d,%d): %d messages in transit (> 4)" i j !in_transit)
 
 let pp_process t ppf i =
-  let p = proc t i in
   Format.fprintf ppf "p%d %s%s c=%d |" i
-    (Types.phase_to_string p.phase)
-    (if p.inside then " inside" else "")
-    p.color;
-  Array.iteri
-    (fun k j ->
-      let bit b ch = if b then Char.uppercase_ascii ch else ch in
-      Format.fprintf ppf " %d:%c%c%c%c%c%c" j
-        (bit p.pinged.(k) 'p')
-        (bit p.ack.(k) 'a')
-        (bit (p.granted.(k) > 0) 'r')
-        (bit p.deferred.(k) 'd')
-        (bit p.fork.(k) 'f')
-        (bit p.token.(k) 't'))
-    p.nbrs
+    (Types.phase_to_string (phase t i))
+    (if inside t i then " inside" else "")
+    t.color.(i);
+  for s = t.off.(i) to t.off.(i + 1) - 1 do
+    let bit b ch = if b then Char.uppercase_ascii ch else ch in
+    Format.fprintf ppf " %d:%c%c%c%c%c%c" t.nbr.(s)
+      (bit (flag t s pinged_bit) 'p')
+      (bit (flag t s ack_bit) 'a')
+      (bit (t.granted.(s) > 0) 'r')
+      (bit (flag t s deferred_bit) 'd')
+      (bit (flag t s fork_bit) 'f')
+      (bit (flag t s token_bit) 't')
+  done
 
 let pp_global t ppf () =
-  Array.iter
-    (fun p ->
-      pp_process t ppf p.pid;
-      if Net.Faults.is_crashed t.faults p.pid then Format.pp_print_string ppf "  [crashed]";
-      Format.pp_print_newline ppf ())
-    t.procs
+  for i = 0 to t.n - 1 do
+    pp_process t ppf i;
+    if Net.Faults.is_crashed t.faults i then Format.pp_print_string ppf "  [crashed]";
+    Format.pp_print_newline ppf ()
+  done
 
 let instance t =
   {

@@ -16,6 +16,17 @@ let message_kind = function
   | Request _ -> "request"
   | Fork -> "fork"
 
+let message_kind_count = 4
+
+let message_kind_index = function Ping -> 0 | Ack -> 1 | Request _ -> 2 | Fork -> 3
+
+let message_kind_name = function
+  | 0 -> "ping"
+  | 1 -> "ack"
+  | 2 -> "request"
+  | 3 -> "fork"
+  | k -> invalid_arg (Printf.sprintf "Types.message_kind_name: %d" k)
+
 let bits_needed x =
   let rec go acc v = if v <= 0 then max acc 1 else go (acc + 1) (v lsr 1) in
   go 0 x

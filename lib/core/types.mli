@@ -20,6 +20,16 @@ val message_kind : message -> string
 (** Stable label used for per-kind channel statistics:
     ["ping"], ["ack"], ["request"], ["fork"]. *)
 
+val message_kind_count : int
+(** Number of distinct message kinds (4). *)
+
+val message_kind_index : message -> int
+(** Dense allocation-free kind index (ping 0, ack 1, request 2, fork 3),
+    used to index flat per-kind counter arrays on the hot path. *)
+
+val message_kind_name : int -> string
+(** Inverse of {!message_kind_index} for snapshots and reports. *)
+
 val message_bits : n:int -> message -> int
 (** Size of a message's payload in bits for an n-process system, per the
     paper's O(log2 n) bound: sender ids and colors need [log2 n] bits. *)

@@ -80,7 +80,7 @@ let create ~engine ~faults ~graph ~delay ~rng ?(period = 20) ?(initial_timeout =
   let net =
     Net.Network.create ~engine ~graph ~delay ~faults ~rng
       ~kind:(fun () -> "heartbeat")
-      ?metrics ~handler ()
+      ~kind_names:[| "heartbeat" |] ?metrics ~handler ()
   in
   (* Sending side: each process broadcasts a heartbeat to its neighborhood
      every [period] ticks, with a per-process phase jitter. *)

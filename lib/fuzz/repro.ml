@@ -19,6 +19,7 @@ let encode_topology (t : Cgraph.Topology.spec) =
   | Cgraph.Topology.Wheel n -> Printf.sprintf "wheel:%d" n
   | Cgraph.Topology.Bipartite (a, b) -> Printf.sprintf "bipartite:%dx%d" a b
   | Cgraph.Topology.Random_gnp (n, p, seed) -> Printf.sprintf "gnp:%d:%.17g:%Ld" n p seed
+  | Cgraph.Topology.Scale_free (n, m, seed) -> Printf.sprintf "sf:%d:%d:%Ld" n m seed
 
 let decode_topology s =
   match Cgraph.Topology.parse s with Ok t -> t | Error e -> fail "topology: %s" e

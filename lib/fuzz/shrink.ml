@@ -47,6 +47,13 @@ let shrink_topology (t : Cgraph.Topology.spec) : Cgraph.Topology.spec list =
           [ Cgraph.Topology.Ring 3; Cgraph.Topology.Path 2 ];
           (if n > 2 then [ Cgraph.Topology.Random_gnp (n - 1, p, seed) ] else []);
         ]
+  | Cgraph.Topology.Scale_free (n, m, seed) ->
+      List.concat
+        [
+          [ Cgraph.Topology.Ring 3; Cgraph.Topology.Path 2 ];
+          (if n > m + 1 then [ Cgraph.Topology.Scale_free (n - 1, m, seed) ] else []);
+          (if m > 1 then [ Cgraph.Topology.Scale_free (n, m - 1, seed) ] else []);
+        ]
 
 let shrink_crashes (c : Harness.Scenario.crash_plan) :
     (string * Harness.Scenario.crash_plan) list =

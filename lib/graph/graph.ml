@@ -1,70 +1,150 @@
 type pid = int
 
-type t = { n : int; adj : pid array array; edges : (pid * pid) list }
+(* Compressed sparse row storage. [off]/[nbr] give each vertex its
+   neighbors as a contiguous ascending run; position [s] in [nbr] is the
+   "directed slot" for the pair (owner of the run, nbr.(s)), giving
+   every per-directed-pair quantity in the system (FIFO floors, link
+   counters, protocol bits) a dense int index. [eu]/[ev] list each
+   undirected edge once, canonically (eu < ev), sorted — the same order
+   the legacy [edges] list had. *)
+type t = {
+  n : int;
+  off : int array; (* n+1 row offsets into nbr *)
+  nbr : pid array; (* 2m neighbors, ascending within each row *)
+  slot_edge : int array; (* 2m: directed slot -> undirected edge id *)
+  eu : pid array; (* m canonical endpoints, eu.(e) < ev.(e), sorted *)
+  ev : pid array;
+}
+
+(* Canonicalize, validate and dedup an edge set into sorted packed keys
+   u * n + v (u < v). Shared by the list and array constructors. *)
+let canonical_keys ~ctx ~n pairs =
+  let m0 = Array.length pairs in
+  let keys = Array.make (max 1 m0) 0 in
+  for idx = 0 to m0 - 1 do
+    let a, b = pairs.(idx) in
+    if a < 0 || a >= n || b < 0 || b >= n then
+      invalid_arg (Printf.sprintf "%s: endpoint out of range (%d, %d)" ctx a b);
+    if a = b then invalid_arg (ctx ^ ": self-loop");
+    keys.(idx) <- if a < b then (a * n) + b else (b * n) + a
+  done;
+  let keys = if m0 = Array.length keys then keys else Array.sub keys 0 m0 in
+  Array.sort (fun (a : int) b -> compare a b) keys;
+  let m = ref 0 in
+  for idx = 0 to m0 - 1 do
+    if idx = 0 || keys.(idx) <> keys.(idx - 1) then begin
+      keys.(!m) <- keys.(idx);
+      incr m
+    end
+  done;
+  (keys, !m)
+
+let of_keys ~n keys m =
+  let eu = Array.make m 0 and ev = Array.make m 0 in
+  for e = 0 to m - 1 do
+    eu.(e) <- keys.(e) / n;
+    ev.(e) <- keys.(e) mod n
+  done;
+  let off = Array.make (n + 1) 0 in
+  for e = 0 to m - 1 do
+    off.(eu.(e)) <- off.(eu.(e)) + 1;
+    off.(ev.(e)) <- off.(ev.(e)) + 1
+  done;
+  let total = ref 0 in
+  for i = 0 to n - 1 do
+    let d = off.(i) in
+    off.(i) <- !total;
+    total := !total + d
+  done;
+  off.(n) <- !total;
+  let nbr = Array.make (2 * m) 0 in
+  let slot_edge = Array.make (2 * m) 0 in
+  let fill = Array.sub off 0 (max 1 n) in
+  (* Filling in sorted edge order leaves every row ascending: vertex i
+     first receives all smaller neighbors u (as edges (u, i) with u < i,
+     ascending in u), then all larger ones (as edges (i, v), ascending
+     in v). *)
+  for e = 0 to m - 1 do
+    let u = eu.(e) and v = ev.(e) in
+    nbr.(fill.(u)) <- v;
+    slot_edge.(fill.(u)) <- e;
+    fill.(u) <- fill.(u) + 1;
+    nbr.(fill.(v)) <- u;
+    slot_edge.(fill.(v)) <- e;
+    fill.(v) <- fill.(v) + 1
+  done;
+  { n; off; nbr; slot_edge; eu; ev }
+
+let of_edge_array ~n pairs =
+  if n <= 0 then invalid_arg "Graph.of_edge_array: n must be positive";
+  let keys, m = canonical_keys ~ctx:"Graph.of_edge_array" ~n pairs in
+  of_keys ~n keys m
 
 let of_edges ~n edge_list =
   if n <= 0 then invalid_arg "Graph.of_edges: n must be positive";
-  let seen = Hashtbl.create (List.length edge_list) in
-  let canonical =
-    List.filter_map
-      (fun (a, b) ->
-        if a < 0 || a >= n || b < 0 || b >= n then
-          invalid_arg (Printf.sprintf "Graph.of_edges: endpoint out of range (%d, %d)" a b);
-        if a = b then invalid_arg "Graph.of_edges: self-loop";
-        let e = (min a b, max a b) in
-        if Hashtbl.mem seen e then None
-        else begin
-          Hashtbl.add seen e ();
-          Some e
-        end)
-      edge_list
-  in
-  let canonical = List.sort compare canonical in
-  let deg = Array.make n 0 in
-  List.iter
-    (fun (a, b) ->
-      deg.(a) <- deg.(a) + 1;
-      deg.(b) <- deg.(b) + 1)
-    canonical;
-  let adj = Array.init n (fun i -> Array.make deg.(i) 0) in
-  let fill = Array.make n 0 in
-  List.iter
-    (fun (a, b) ->
-      adj.(a).(fill.(a)) <- b;
-      fill.(a) <- fill.(a) + 1;
-      adj.(b).(fill.(b)) <- a;
-      fill.(b) <- fill.(b) + 1)
-    canonical;
-  Array.iter (fun row -> Array.sort compare row) adj;
-  { n; adj; edges = canonical }
+  let keys, m = canonical_keys ~ctx:"Graph.of_edges" ~n (Array.of_list edge_list) in
+  of_keys ~n keys m
 
 let n t = t.n
-let edges t = t.edges
-let edge_count t = List.length t.edges
-let neighbors t i = t.adj.(i)
-let degree t i = Array.length t.adj.(i)
+let edge_count t = Array.length t.eu
+
+let edges t =
+  let acc = ref [] in
+  for e = Array.length t.eu - 1 downto 0 do
+    acc := (t.eu.(e), t.ev.(e)) :: !acc
+  done;
+  !acc
+
+let degree t i = t.off.(i + 1) - t.off.(i)
+let neighbors t i = Array.sub t.nbr t.off.(i) (degree t i)
 
 let max_degree t =
-  Array.fold_left (fun acc row -> max acc (Array.length row)) 0 t.adj
+  let best = ref 0 in
+  for i = 0 to t.n - 1 do
+    if degree t i > !best then best := degree t i
+  done;
+  !best
+
+(* Slot of [j] within [i]'s row, or -1. Rows are ascending. *)
+let find_dir t i j =
+  let lo = ref t.off.(i) and hi = ref t.off.(i + 1) in
+  let found = ref (-1) in
+  while !found < 0 && !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    let v = t.nbr.(mid) in
+    if v = j then found := mid else if v < j then lo := mid + 1 else hi := mid
+  done;
+  !found
 
 let is_edge t i j =
   if i = j then false
   else begin
-    (* Binary search in the sorted neighbor row of the lower-degree endpoint. *)
-    let row, key = if degree t i <= degree t j then (t.adj.(i), j) else (t.adj.(j), i) in
-    let rec search lo hi =
-      if lo >= hi then false
-      else begin
-        let mid = (lo + hi) / 2 in
-        if row.(mid) = key then true
-        else if row.(mid) < key then search (mid + 1) hi
-        else search lo mid
-      end
-    in
-    search 0 (Array.length row)
+    (* Search the sorted neighbor row of the lower-degree endpoint. *)
+    let a, b = if degree t i <= degree t j then (i, j) else (j, i) in
+    find_dir t a b >= 0
   end
 
-let iter_edges t f = List.iter (fun (a, b) -> f a b) t.edges
+let dir_count t = Array.length t.nbr
+
+let dir_index t i j =
+  if i < 0 || i >= t.n then invalid_arg (Printf.sprintf "Graph.dir_index: bad vertex %d" i);
+  let s = find_dir t i j in
+  if s < 0 then invalid_arg (Printf.sprintf "Graph.dir_index: %d and %d are not neighbors" i j);
+  s
+
+let dir_index_opt t i j =
+  if i < 0 || i >= t.n || j < 0 || j >= t.n then -1 else find_dir t i j
+
+let slot_dst t s = t.nbr.(s)
+let slot_edge_id t s = t.slot_edge.(s)
+let edge_endpoints t e = (t.eu.(e), t.ev.(e))
+let csr_offsets t = t.off
+let csr_targets t = t.nbr
+
+let iter_edges t f =
+  for e = 0 to Array.length t.eu - 1 do
+    f t.eu.(e) t.ev.(e)
+  done
 
 let fold_vertices t ~init ~f =
   let acc = ref init in
@@ -75,35 +155,50 @@ let fold_vertices t ~init ~f =
 
 let is_connected t =
   let visited = Array.make t.n false in
-  let rec dfs i =
+  (* Explicit stack: recursion would overflow on path-like graphs at
+     scale. *)
+  let stack = Array.make t.n 0 in
+  let top = ref 0 in
+  let push i =
     if not visited.(i) then begin
       visited.(i) <- true;
-      Array.iter dfs t.adj.(i)
+      stack.(!top) <- i;
+      incr top
     end
   in
-  dfs 0;
+  push 0;
+  while !top > 0 do
+    decr top;
+    let u = stack.(!top) in
+    for s = t.off.(u) to t.off.(u + 1) - 1 do
+      push t.nbr.(s)
+    done
+  done;
   Array.for_all Fun.id visited
 
 let distances_from t source =
   if source < 0 || source >= t.n then invalid_arg "Graph.distances_from: bad vertex";
   let dist = Array.make t.n t.n in
-  let queue = Queue.create () in
+  let queue = Array.make t.n 0 in
+  let head = ref 0 and tail = ref 0 in
   dist.(source) <- 0;
-  Queue.add source queue;
-  while not (Queue.is_empty queue) do
-    let u = Queue.pop queue in
-    Array.iter
-      (fun v ->
-        if dist.(v) > dist.(u) + 1 then begin
-          dist.(v) <- dist.(u) + 1;
-          Queue.add v queue
-        end)
-      t.adj.(u)
+  queue.(!tail) <- source;
+  incr tail;
+  while !head < !tail do
+    let u = queue.(!head) in
+    incr head;
+    for s = t.off.(u) to t.off.(u + 1) - 1 do
+      let v = t.nbr.(s) in
+      if dist.(v) > dist.(u) + 1 then begin
+        dist.(v) <- dist.(u) + 1;
+        queue.(!tail) <- v;
+        incr tail
+      end
+    done
   done;
   dist
 
-let pp ppf t =
-  Format.fprintf ppf "graph(n=%d, m=%d)" t.n (edge_count t)
+let pp ppf t = Format.fprintf ppf "graph(n=%d, m=%d)" t.n (edge_count t)
 
 let to_dot ?(name = "conflict") ?(vertex_label = string_of_int) ?(vertex_color = fun _ -> None)
     t =
@@ -118,6 +213,6 @@ let to_dot ?(name = "conflict") ?(vertex_label = string_of_int) ?(vertex_color =
     in
     Buffer.add_string buf (Printf.sprintf "  %d [%s];\n" i attrs)
   done;
-  List.iter (fun (a, b) -> Buffer.add_string buf (Printf.sprintf "  %d -- %d;\n" a b)) t.edges;
+  iter_edges t (fun a b -> Buffer.add_string buf (Printf.sprintf "  %d -- %d;\n" a b));
   Buffer.add_string buf "}\n";
   Buffer.contents buf

@@ -13,23 +13,70 @@ val of_edges : n:int -> (pid * pid) list -> t
     rejected; duplicate edges (in either orientation) are deduplicated.
     Raises [Invalid_argument] on out-of-range endpoints or [n <= 0]. *)
 
+val of_edge_array : n:int -> (pid * pid) array -> t
+(** Same as {!of_edges} from an array — the constructor the large
+    topology generators use: no intermediate lists, one sort over packed
+    int keys. *)
+
 val n : t -> int
 (** Number of vertices. *)
 
 val edges : t -> (pid * pid) list
-(** Edge list, each edge once with the smaller endpoint first, sorted. *)
+(** Edge list, each edge once with the smaller endpoint first, sorted.
+    Built fresh on each call; prefer {!iter_edges} or {!edge_endpoints}
+    on hot paths. *)
 
 val edge_count : t -> int
 
 val neighbors : t -> pid -> pid array
-(** Sorted array of neighbors of a vertex. The returned array is owned by
-    the graph; callers must not mutate it. *)
+(** Sorted array of neighbors of a vertex, as a fresh copy. Prefer
+    {!csr_offsets}/{!csr_targets} where the copy matters. *)
 
 val degree : t -> pid -> int
 val max_degree : t -> int
 val is_edge : t -> pid -> pid -> bool
 val iter_edges : t -> (pid -> pid -> unit) -> unit
 val fold_vertices : t -> init:'a -> f:('a -> pid -> 'a) -> 'a
+
+(** {2 Dense indices}
+
+    The graph is stored in compressed sparse row form. Position [s] of
+    the flat neighbor array is the {e directed slot} for the ordered
+    pair [(i, nbr.(s))] where [i] owns the row containing [s]; slots
+    give every per-directed-pair quantity in the system (FIFO floors,
+    link counters, per-edge protocol bits) a dense int index, replacing
+    hashed pair keys on hot paths. Undirected edges are numbered
+    [0 .. edge_count - 1] in canonical sorted order. *)
+
+val dir_count : t -> int
+(** Number of directed slots, [2 * edge_count]. *)
+
+val dir_index : t -> pid -> pid -> int
+(** [dir_index t i j] is the directed slot of the ordered pair [(i, j)].
+    O(log degree), allocation-free. Raises [Invalid_argument] if [i]
+    and [j] are not neighbors. *)
+
+val dir_index_opt : t -> pid -> pid -> int
+(** Like {!dir_index} but returns [-1] when [i] and [j] are not
+    neighbors (including out-of-range vertices) instead of raising.
+    Allocation-free, for hot paths that validate edges themselves. *)
+
+val slot_dst : t -> int -> pid
+(** Destination of a directed slot (the source owns the CSR row). *)
+
+val slot_edge_id : t -> int -> int
+(** Undirected edge id a directed slot belongs to. *)
+
+val edge_endpoints : t -> int -> pid * pid
+(** Canonical endpoints [(u, v)], [u < v], of an edge id. *)
+
+val csr_offsets : t -> int array
+(** Row offsets, length [n + 1]: vertex [i]'s slots are
+    [off.(i) .. off.(i+1) - 1]. Owned by the graph; do not mutate. *)
+
+val csr_targets : t -> pid array
+(** Flat neighbor array, length [dir_count], ascending within each row.
+    Owned by the graph; do not mutate. *)
 
 val is_connected : t -> bool
 (** Whether every vertex is reachable from vertex 0 (true for n = 1). *)

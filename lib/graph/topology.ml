@@ -10,12 +10,13 @@ type spec =
   | Wheel of int
   | Bipartite of int * int
   | Random_gnp of int * float * int64
+  | Scale_free of int * int * int64
 
 let check cond msg = if not cond then invalid_arg ("Topology.build: " ^ msg)
 
 let ring n =
   check (n >= 3) "ring needs n >= 3";
-  Graph.of_edges ~n (List.init n (fun i -> (i, (i + 1) mod n)))
+  Graph.of_edge_array ~n (Array.init n (fun i -> (i, (i + 1) mod n)))
 
 let path n =
   check (n >= 2) "path needs n >= 2";
@@ -38,14 +39,22 @@ let star n =
 let grid rows cols =
   check (rows >= 1 && cols >= 1 && rows * cols >= 2) "grid needs >= 2 vertices";
   let id r c = (r * cols) + c in
-  let edges = ref [] in
+  let m = (rows * (cols - 1)) + ((rows - 1) * cols) in
+  let edges = Array.make (max 1 m) (0, 0) in
+  let k = ref 0 in
   for r = 0 to rows - 1 do
     for c = 0 to cols - 1 do
-      if c + 1 < cols then edges := (id r c, id r (c + 1)) :: !edges;
-      if r + 1 < rows then edges := (id r c, id (r + 1) c) :: !edges
+      if c + 1 < cols then begin
+        edges.(!k) <- (id r c, id r (c + 1));
+        incr k
+      end;
+      if r + 1 < rows then begin
+        edges.(!k) <- (id r c, id (r + 1) c);
+        incr k
+      end
     done
   done;
-  Graph.of_edges ~n:(rows * cols) !edges
+  Graph.of_edge_array ~n:(rows * cols) edges
 
 let torus rows cols =
   check (rows >= 3 && cols >= 3) "torus needs rows, cols >= 3";
@@ -114,6 +123,51 @@ let random_gnp n p seed =
   done;
   Graph.of_edges ~n !edges
 
+let scale_free n m seed =
+  check (m >= 1) "scale_free needs m >= 1";
+  check (n >= m + 1) "scale_free needs n >= m + 1";
+  let rng = Sim.Rng.create seed in
+  (* Barabási–Albert preferential attachment, repeated-endpoints method:
+     [stubs] holds every edge endpoint seen so far, so sampling it
+     uniformly is sampling vertices proportional to degree. Seed with a
+     star on the first m + 1 vertices, then attach each new vertex to m
+     distinct degree-biased targets. *)
+  let edge_total = m + ((n - m - 1) * m) in
+  let eu = Array.make edge_total 0 and evv = Array.make edge_total 0 in
+  let stubs = Array.make (2 * edge_total) 0 in
+  let nstubs = ref 0 in
+  let nedges = ref 0 in
+  let push_edge u v =
+    eu.(!nedges) <- u;
+    evv.(!nedges) <- v;
+    incr nedges;
+    stubs.(!nstubs) <- u;
+    stubs.(!nstubs + 1) <- v;
+    nstubs := !nstubs + 2
+  in
+  for v = 1 to m do
+    push_edge 0 v
+  done;
+  let targets = Array.make m 0 in
+  for v = m + 1 to n - 1 do
+    let chosen = ref 0 in
+    while !chosen < m do
+      let candidate = stubs.(Sim.Rng.int rng !nstubs) in
+      let fresh = ref true in
+      for k = 0 to !chosen - 1 do
+        if targets.(k) = candidate then fresh := false
+      done;
+      if !fresh then begin
+        targets.(!chosen) <- candidate;
+        incr chosen
+      end
+    done;
+    for k = 0 to m - 1 do
+      push_edge targets.(k) v
+    done
+  done;
+  Graph.of_edge_array ~n (Array.init edge_total (fun e -> (eu.(e), evv.(e))))
+
 let build = function
   | Ring n -> ring n
   | Path n -> path n
@@ -126,6 +180,7 @@ let build = function
   | Wheel n -> wheel n
   | Bipartite (a, b) -> bipartite a b
   | Random_gnp (n, p, seed) -> random_gnp n p seed
+  | Scale_free (n, m, seed) -> scale_free n m seed
 
 let name = function
   | Ring n -> Printf.sprintf "ring-%d" n
@@ -139,6 +194,7 @@ let name = function
   | Wheel n -> Printf.sprintf "wheel-%d" n
   | Bipartite (a, b) -> Printf.sprintf "bipartite-%dx%d" a b
   | Random_gnp (n, p, seed) -> Printf.sprintf "gnp-%d-%.2f-%Ld" n p seed
+  | Scale_free (n, m, seed) -> Printf.sprintf "sf-%d-%d-%Ld" n m seed
 
 let parse s =
   let parts = String.split_on_char ':' s in
@@ -161,6 +217,15 @@ let parse s =
   | [ "wheel"; x ] -> ( match int x with Some n -> Ok (Wheel n) | None -> err ())
   | [ "bipartite"; x ] -> (
       match dims x with Some (a, b) -> Ok (Bipartite (a, b)) | None -> err ())
+  | [ "sf"; x; mstr ] | [ "sf"; x; mstr; _ ] -> (
+      let seed =
+        match parts with
+        | [ _; _; _; seedstr ] -> Int64.of_string_opt seedstr
+        | _ -> Some 1L
+      in
+      match (int x, int mstr, seed) with
+      | Some n, Some m, Some seed -> Ok (Scale_free (n, m, seed))
+      | _ -> err ())
   | [ "gnp"; x; pstr ] | [ "gnp"; x; pstr; _ ] -> (
       let seed =
         match parts with

@@ -19,6 +19,13 @@ type spec =
   | Random_gnp of int * float * int64
       (** [Random_gnp (n, p, seed)]: G(n, p) conditioned on connectivity by
           adding a random spanning chain first. *)
+  | Scale_free of int * int * int64
+      (** [Scale_free (n, m, seed)]: Barabási–Albert preferential
+          attachment — m edges from each new vertex to degree-biased
+          distinct targets, seeded with a star on m + 1 vertices.
+          Connected by construction; n * m edges overall (about), hub
+          degrees grow as a power law — the adversarial opposite of the
+          bounded-degree grids for the scale bench. *)
 
 val build : spec -> Graph.t
 
@@ -27,7 +34,7 @@ val name : spec -> string
 
 val parse : string -> (spec, string) result
 (** Inverse of {!name} for the CLI: accepts strings like ["ring:8"],
-    ["grid:4x5"], ["gnp:20:0.2:42"]. *)
+    ["grid:4x5"], ["gnp:20:0.2:42"], ["sf:1000:2:7"]. *)
 
 val all_small : spec list
 (** A representative assortment used by tests and experiments. *)

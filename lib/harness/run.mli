@@ -35,8 +35,14 @@ type report = World.report = {
       (** The world's metrics registry — see {!World.report}. *)
 }
 
-val run : ?trace:Sim.Trace.t -> ?metrics:Obs.Metrics.t -> Scenario.t -> report
-(** Execute the scenario to its horizon. Deterministic in the scenario. *)
+val run :
+  ?backend:Sim.Engine.backend ->
+  ?trace:Sim.Trace.t ->
+  ?metrics:Obs.Metrics.t ->
+  Scenario.t ->
+  report
+(** Execute the scenario to its horizon. Deterministic in the scenario
+    (and identical for either engine queue backend). *)
 
 val throughput : report -> float
 (** Eats per 1000 ticks. *)

@@ -82,10 +82,10 @@ let make_instance (s : Scenario.t) ~engine ~faults ~graph ~detector ~rng ~trace 
       in
       (Baselines.Ordered.instance algo, Baselines.Ordered.network_stats algo, None)
 
-let build ?(trace = Sim.Trace.create ()) ?metrics (s : Scenario.t) =
+let build ?backend ?(trace = Sim.Trace.create ()) ?metrics (s : Scenario.t) =
   let graph = Cgraph.Topology.build s.topology in
   let n = Cgraph.Graph.n graph in
-  let engine = Sim.Engine.create ~recorder:trace () in
+  let engine = Sim.Engine.create ?backend ~recorder:trace () in
   let faults = Net.Faults.create engine ~n in
   let rng = Sim.Rng.create s.seed in
   let crashed = realise_crashes s (Sim.Rng.split_named rng "crashes") n in

@@ -17,12 +17,19 @@ type parts = {
   song_pike : Dining.Algorithm.t option;
 }
 
-val build : ?trace:Sim.Trace.t -> ?metrics:Obs.Metrics.t -> Scenario.t -> parts
+val build :
+  ?backend:Sim.Engine.backend ->
+  ?trace:Sim.Trace.t ->
+  ?metrics:Obs.Metrics.t ->
+  Scenario.t ->
+  parts
 (** Builds everything and schedules the crash plan (victims are watched in
-    [link_stats]). The engine has not run yet. [trace] becomes the
-    engine's recorder, so structural event/message records flow into it
-    under full tracing; [metrics] is threaded to the dining and heartbeat
-    overlays' link statistics. *)
+    [link_stats]). The engine has not run yet. [backend] selects the
+    engine's event-queue implementation (default: the engine's own
+    default, the timing wheel) — both backends produce bit-identical
+    runs. [trace] becomes the engine's recorder, so structural
+    event/message records flow into it under full tracing; [metrics] is
+    threaded to the dining and heartbeat overlays' link statistics. *)
 
 val convergence : parts -> Sim.Time.t * int
 (** Post-run detector convergence time and (for heartbeat) mistake count. *)

@@ -49,13 +49,20 @@ type report = {
           and wait histograms, [engine.*] / [detector.*] gauges. *)
 }
 
-val create : ?trace:Sim.Trace.t -> ?metrics:Obs.Metrics.t -> Scenario.t -> t
+val create :
+  ?backend:Sim.Engine.backend ->
+  ?trace:Sim.Trace.t ->
+  ?metrics:Obs.Metrics.t ->
+  Scenario.t ->
+  t
 (** Build a fresh world: engine, network, detector, daemon, monitors and
     workload, with the crash plan scheduled and the invariant watcher
-    armed. Virtual time has not advanced yet. [trace] becomes the
-    engine's recorder (capture it with {!Obs.Recorder.collecting} for
-    JSONL export); [metrics] is the registry every component registers
-    into (default: a fresh private one, available via the report). *)
+    armed. Virtual time has not advanced yet. [backend] selects the
+    engine's event-queue implementation (default: the timing wheel; both
+    backends are bit-identical). [trace] becomes the engine's recorder
+    (capture it with {!Obs.Recorder.collecting} for JSONL export);
+    [metrics] is the registry every component registers into (default: a
+    fresh private one, available via the report). *)
 
 val advance : t -> until:Sim.Time.t -> unit
 (** Process events up to and including virtual time [until]. Advancing in
@@ -69,9 +76,15 @@ val report : t -> report
     has executed so far. Normally called once [advance] reached the
     scenario horizon. *)
 
-val run : ?trace:Sim.Trace.t -> ?metrics:Obs.Metrics.t -> Scenario.t -> report
+val run :
+  ?backend:Sim.Engine.backend ->
+  ?trace:Sim.Trace.t ->
+  ?metrics:Obs.Metrics.t ->
+  Scenario.t ->
+  report
 (** [create |> advance ~until:horizon |> report] — deterministic in the
-    scenario: same scenario, same report, on any domain. *)
+    scenario: same scenario, same report, on any domain and with either
+    queue backend. *)
 
 val throughput : report -> float
 (** Eats per 1000 ticks. *)

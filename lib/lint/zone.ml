@@ -2,7 +2,14 @@
    batch or model-checking pass, and must therefore be a pure function of
    (scenario, seed). lib/stats is included because its tables/figures are
    the ordered output the other rules protect; its two stdout printers
-   are allowlisted. lib/lint itself is host-side tooling and stays out. *)
+   are allowlisted. lib/lint itself is host-side tooling and stays out.
+
+   Directory granularity means new modules are covered automatically:
+   the timing-wheel queue (lib/sim/wheel.ml) and the scale-free
+   generator (lib/graph/topology.ml) fall under lib/sim and lib/graph —
+   both must stay free of wall-clock, global RNG and unordered
+   iteration, since either can silently break heap/wheel trace
+   equality. bench/ stays out on purpose: it measures wall-clock. *)
 let default_dirs =
   [
     "lib/obs";

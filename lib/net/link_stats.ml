@@ -1,25 +1,28 @@
-type dir_counters = {
-  mutable sent : int;
-  mutable delivered : int;
-  mutable in_flight : int;
-  mutable last_send : Sim.Time.t option;
-}
-
-type edge_counters = {
-  mutable e_in_flight : int;
-  mutable e_watermark : int;
-  by_kind : (string, int * int) Hashtbl.t; (* kind -> (in_flight, watermark) *)
-}
+(* All counters live in flat arrays indexed by the graph's dense
+   directed-slot / edge-id / kind indices, so a record_send on the hot
+   path touches a handful of int cells and allocates nothing. The only
+   remaining hashtable holds the (rare, experiment-driven) watched
+   destinations. *)
 
 type t = {
-  n : int;
-  dirs : (int * int, dir_counters) Hashtbl.t;
-  edges : (int * int, edge_counters) Hashtbl.t;
+  graph : Cgraph.Graph.t;
+  kinds : string array; (* kind names; record_* take indices into this *)
+  (* Per directed slot. *)
+  d_sent : int array;
+  d_delivered : int array;
+  d_in_flight : int array;
+  (* Per undirected edge id. *)
+  e_in_flight : int array;
+  e_watermark : int array;
+  (* Per (edge, kind): edge * kind_count + kind. *)
+  k_in_flight : int array;
+  k_watermark : int array;
   mutable worst_watermark : int; (* running max over all edge watermarks *)
   mutable total_sent : int;
   per_dst_sent : int array;
-  last_send_to : Sim.Time.t option array;
-  last_send_from : Sim.Time.t option array;
+  (* Last send times per process; -1 = never (times are >= 0). *)
+  last_send_to : int array;
+  last_send_from : int array;
   watched : (int, Sim.Time.t list ref) Hashtbl.t; (* dst -> send times, newest first *)
   (* Registered in the world's metrics registry (or a private one when
      the caller passes none): a counter bump per send/delivery/drop. *)
@@ -28,121 +31,146 @@ type t = {
   m_dropped : Obs.Metrics.counter;
 }
 
-let create ~n ?metrics () =
+let create ~graph ?(kinds = [| "msg" |]) ?metrics () =
   let metrics = match metrics with Some m -> m | None -> Obs.Metrics.create () in
+  let n = Cgraph.Graph.n graph in
+  let dirs = Cgraph.Graph.dir_count graph in
+  let m = Cgraph.Graph.edge_count graph in
+  let kc = Array.length kinds in
   {
-    n;
-    dirs = Hashtbl.create 64;
-    edges = Hashtbl.create 64;
+    graph;
+    kinds;
+    d_sent = Array.make dirs 0;
+    d_delivered = Array.make dirs 0;
+    d_in_flight = Array.make dirs 0;
+    e_in_flight = Array.make m 0;
+    e_watermark = Array.make m 0;
+    k_in_flight = Array.make (m * kc) 0;
+    k_watermark = Array.make (m * kc) 0;
     worst_watermark = 0;
     total_sent = 0;
     per_dst_sent = Array.make n 0;
-    last_send_to = Array.make n None;
-    last_send_from = Array.make n None;
+    last_send_to = Array.make n (-1);
+    last_send_from = Array.make n (-1);
     watched = Hashtbl.create 4;
     m_sent = Obs.Metrics.counter metrics "net.sent";
     m_delivered = Obs.Metrics.counter metrics "net.delivered";
     m_dropped = Obs.Metrics.counter metrics "net.dropped";
   }
 
-let dir t src dst =
-  match Hashtbl.find_opt t.dirs (src, dst) with
-  | Some c -> c
-  | None ->
-      let c = { sent = 0; delivered = 0; in_flight = 0; last_send = None } in
-      Hashtbl.add t.dirs (src, dst) c;
-      c
+let kind_count t = Array.length t.kinds
 
-let edge_key a b = (min a b, max a b)
+let slot t src dst =
+  let s = Cgraph.Graph.dir_index_opt t.graph src dst in
+  if s < 0 then
+    invalid_arg (Printf.sprintf "Link_stats: %d and %d are not neighbors" src dst);
+  s
 
-let edge t a b =
-  let key = edge_key a b in
-  match Hashtbl.find_opt t.edges key with
-  | Some e -> e
-  | None ->
-      let e = { e_in_flight = 0; e_watermark = 0; by_kind = Hashtbl.create 4 } in
-      Hashtbl.add t.edges key e;
-      e
+let check_kind t kind =
+  if kind < 0 || kind >= kind_count t then
+    invalid_arg (Printf.sprintf "Link_stats: bad kind index %d" kind)
 
 let watch_dst t dst =
   if not (Hashtbl.mem t.watched dst) then Hashtbl.add t.watched dst (ref [])
 
 let record_send t ~src ~dst ~kind ~at =
   Obs.Metrics.incr t.m_sent;
-  let d = dir t src dst in
-  d.sent <- d.sent + 1;
-  d.in_flight <- d.in_flight + 1;
-  d.last_send <- Some at;
+  check_kind t kind;
+  let s = slot t src dst in
+  t.d_sent.(s) <- t.d_sent.(s) + 1;
+  t.d_in_flight.(s) <- t.d_in_flight.(s) + 1;
   t.total_sent <- t.total_sent + 1;
   t.per_dst_sent.(dst) <- t.per_dst_sent.(dst) + 1;
-  t.last_send_to.(dst) <- Some at;
-  t.last_send_from.(src) <- Some at;
-  let e = edge t src dst in
-  e.e_in_flight <- e.e_in_flight + 1;
-  if e.e_in_flight > e.e_watermark then begin
-    e.e_watermark <- e.e_in_flight;
-    if e.e_watermark > t.worst_watermark then t.worst_watermark <- e.e_watermark
+  t.last_send_to.(dst) <- at;
+  t.last_send_from.(src) <- at;
+  let e = Cgraph.Graph.slot_edge_id t.graph s in
+  t.e_in_flight.(e) <- t.e_in_flight.(e) + 1;
+  if t.e_in_flight.(e) > t.e_watermark.(e) then begin
+    t.e_watermark.(e) <- t.e_in_flight.(e);
+    if t.e_watermark.(e) > t.worst_watermark then t.worst_watermark <- t.e_watermark.(e)
   end;
-  let kf, kw = Option.value (Hashtbl.find_opt e.by_kind kind) ~default:(0, 0) in
-  let kf = kf + 1 in
-  Hashtbl.replace e.by_kind kind (kf, max kw kf);
+  let ke = (e * kind_count t) + kind in
+  t.k_in_flight.(ke) <- t.k_in_flight.(ke) + 1;
+  if t.k_in_flight.(ke) > t.k_watermark.(ke) then t.k_watermark.(ke) <- t.k_in_flight.(ke);
   match Hashtbl.find_opt t.watched dst with
   | Some times -> times := at :: !times
   | None -> ()
 
 let settle t ~src ~dst ~kind =
-  let d = dir t src dst in
-  d.in_flight <- d.in_flight - 1;
-  let e = edge t src dst in
-  e.e_in_flight <- e.e_in_flight - 1;
-  let kf, kw = Option.value (Hashtbl.find_opt e.by_kind kind) ~default:(0, 0) in
-  Hashtbl.replace e.by_kind kind (kf - 1, kw)
+  check_kind t kind;
+  let s = slot t src dst in
+  t.d_in_flight.(s) <- t.d_in_flight.(s) - 1;
+  let e = Cgraph.Graph.slot_edge_id t.graph s in
+  t.e_in_flight.(e) <- t.e_in_flight.(e) - 1;
+  let ke = (e * kind_count t) + kind in
+  t.k_in_flight.(ke) <- t.k_in_flight.(ke) - 1
 
 let record_delivery t ~src ~dst ~kind ~at:_ =
   Obs.Metrics.incr t.m_delivered;
-  let d = dir t src dst in
-  d.delivered <- d.delivered + 1;
+  let s = slot t src dst in
+  t.d_delivered.(s) <- t.d_delivered.(s) + 1;
   settle t ~src ~dst ~kind
 
 let record_drop t ~src ~dst ~kind ~at:_ =
   Obs.Metrics.incr t.m_dropped;
   settle t ~src ~dst ~kind
 
-let sent t ~src ~dst = (dir t src dst).sent
-let delivered t ~src ~dst = (dir t src dst).delivered
-let in_flight t ~src ~dst = (dir t src dst).in_flight
-let edge_in_flight t a b = (edge t a b).e_in_flight
-let edge_watermark t a b = (edge t a b).e_watermark
+(* Query accessors tolerate non-edges (returning 0): callers probe
+   arbitrary pairs when summarizing. *)
+
+let dir_get arr t src dst =
+  let s = Cgraph.Graph.dir_index_opt t.graph src dst in
+  if s < 0 then 0 else arr.(s)
+
+let sent t ~src ~dst = dir_get t.d_sent t src dst
+let delivered t ~src ~dst = dir_get t.d_delivered t src dst
+let in_flight t ~src ~dst = dir_get t.d_in_flight t src dst
+
+let edge_id_opt t a b =
+  let s = Cgraph.Graph.dir_index_opt t.graph a b in
+  if s < 0 then -1 else Cgraph.Graph.slot_edge_id t.graph s
+
+let edge_in_flight t a b =
+  let e = edge_id_opt t a b in
+  if e < 0 then 0 else t.e_in_flight.(e)
+
+let edge_watermark t a b =
+  let e = edge_id_opt t a b in
+  if e < 0 then 0 else t.e_watermark.(e)
 
 let max_edge_watermark t = t.worst_watermark
 
-(* Deterministic snapshot of a hashtable: bindings sorted by key, so
-   nothing downstream ever sees hash order. *)
-let sorted_bindings tbl =
-  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
-  |> List.sort (fun (a, _) (b, _) -> compare a b)
-
 let per_edge_watermarks t =
-  sorted_bindings t.edges |> List.map (fun (key, e) -> (key, e.e_watermark))
+  (* Edge ids are already in canonical sorted order, so folding right
+     to left yields the list sorted by (min, max) endpoint key. *)
+  let acc = ref [] in
+  for e = Cgraph.Graph.edge_count t.graph - 1 downto 0 do
+    if t.e_watermark.(e) > 0 then
+      acc := (Cgraph.Graph.edge_endpoints t.graph e, t.e_watermark.(e)) :: !acc
+  done;
+  !acc
 
 let max_edge_watermark_by_kind t =
-  let acc = Hashtbl.create 8 in
-  List.iter
-    (fun (_, e) ->
-      List.iter
-        (fun (kind, (_, kw)) ->
-          let cur = Option.value (Hashtbl.find_opt acc kind) ~default:0 in
-          Hashtbl.replace acc kind (max cur kw))
-        (sorted_bindings e.by_kind))
-    (sorted_bindings t.edges);
-  sorted_bindings acc
+  let kc = kind_count t in
+  let m = Cgraph.Graph.edge_count t.graph in
+  let acc = ref [] in
+  for k = 0 to kc - 1 do
+    let worst = ref 0 in
+    for e = 0 to m - 1 do
+      let kw = t.k_watermark.((e * kc) + k) in
+      if kw > !worst then worst := kw
+    done;
+    if !worst > 0 then acc := (t.kinds.(k), !worst) :: !acc
+  done;
+  List.sort (fun (a, _) (b, _) -> compare a b) !acc
 
-let last_send_to t pid = t.last_send_to.(pid)
+let last_send_to t pid =
+  if t.last_send_to.(pid) < 0 then None else Some t.last_send_to.(pid)
 
 let last_send_involving t pid =
-  match (t.last_send_to.(pid), t.last_send_from.(pid)) with
-  | None, x | x, None -> x
-  | Some a, Some b -> Some (Sim.Time.max a b)
+  let a = t.last_send_to.(pid) and b = t.last_send_from.(pid) in
+  let latest = max a b in
+  if latest < 0 then None else Some latest
 
 let watched_times t dst =
   match Hashtbl.find_opt t.watched dst with

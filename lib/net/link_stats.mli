@@ -1,22 +1,27 @@
 (** Per-directed-edge traffic accounting.
 
-    Tracks, for each ordered pair (src, dst) that ever communicates:
-    cumulative sends and deliveries, the current number of in-flight
-    messages, the in-flight high-water mark of the undirected edge (the
-    paper bounds this by 4), and the last send time. Message kinds are
-    recorded by caller-supplied tags so experiments can break traffic down
-    by ping/ack/request/fork. *)
+    Tracks, for each ordered pair (src, dst) of neighbors: cumulative
+    sends and deliveries, the current number of in-flight messages, the
+    in-flight high-water mark of the undirected edge (the paper bounds
+    this by 4), and the last send time. Everything is stored in flat
+    arrays indexed by the graph's dense directed-slot / edge-id / kind
+    indices, so recording a send is allocation-free. Message kinds are
+    dense indices into a caller-supplied name table so experiments can
+    break traffic down by ping/ack/request/fork. *)
 
 type t
 
-val create : n:int -> ?metrics:Obs.Metrics.t -> unit -> t
-(** [metrics] — registry to register the [net.sent] / [net.delivered] /
+val create : graph:Cgraph.Graph.t -> ?kinds:string array -> ?metrics:Obs.Metrics.t -> unit -> t
+(** [kinds] — names of the message kinds; [record_send ~kind:k] indexes
+    this table (default [[|"msg"|]], a single anonymous kind).
+    [metrics] — registry to register the [net.sent] / [net.delivered] /
     [net.dropped] counters into (default: a private registry). Several
     overlays sharing one registry aggregate into the same counters. *)
 
-val record_send : t -> src:int -> dst:int -> kind:string -> at:Sim.Time.t -> unit
-val record_delivery : t -> src:int -> dst:int -> kind:string -> at:Sim.Time.t -> unit
-val record_drop : t -> src:int -> dst:int -> kind:string -> at:Sim.Time.t -> unit
+val record_send : t -> src:int -> dst:int -> kind:int -> at:Sim.Time.t -> unit
+val record_delivery : t -> src:int -> dst:int -> kind:int -> at:Sim.Time.t -> unit
+
+val record_drop : t -> src:int -> dst:int -> kind:int -> at:Sim.Time.t -> unit
 (** A message absorbed because its destination crashed: removed from the
     in-flight count without a delivery. *)
 
@@ -33,16 +38,16 @@ val edge_watermark : t -> int -> int -> int
 val max_edge_watermark : t -> int
 (** Maximum of {!edge_watermark} over all edges that ever carried
     traffic. O(1): maintained incrementally rather than by folding over
-    the edge table. *)
+    the per-edge table. *)
 
 val per_edge_watermarks : t -> ((int * int) * int) list
 (** Every edge that ever carried traffic with its in-flight watermark,
-    sorted by edge key [(min, max)] — per-edge summaries never surface in
-    hash order. *)
+    sorted by edge key [(min, max)]. *)
 
 val max_edge_watermark_by_kind : t -> (string * int) list
-(** For each message kind, the maximum per-edge in-flight watermark of
-    messages of that kind alone, sorted by kind. *)
+(** For each message kind that ever carried traffic, the maximum
+    per-edge in-flight watermark of messages of that kind alone, sorted
+    by kind name. *)
 
 val last_send_involving : t -> int -> Sim.Time.t option
 (** Latest time any message was sent to or from the given process. *)

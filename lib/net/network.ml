@@ -5,17 +5,19 @@ type 'msg t = {
   faults : Faults.t;
   rng : Sim.Rng.t;
   kind : 'msg -> string;
+  kind_index : 'msg -> int;
   on_drop : src:int -> dst:int -> 'msg -> unit;
   handler : dst:int -> src:int -> 'msg -> unit;
   stats : Link_stats.t;
   recorder : Obs.Recorder.t;
   tracing : bool ref; (* the recorder's live full-tracing flag *)
-  (* FIFO enforcement: per directed channel, the latest delivery time
+  (* FIFO enforcement: per directed slot, the latest delivery time
      handed out so far; later sends never deliver earlier. *)
-  last_delivery : (int * int, Sim.Time.t) Hashtbl.t;
+  last_delivery : Sim.Time.t array;
 }
 
 let create ~engine ~graph ~delay ~faults ~rng ?(kind = fun _ -> "msg")
+    ?(kind_index = fun _ -> 0) ?(kind_names = [| "msg" |])
     ?(on_drop = fun ~src:_ ~dst:_ _ -> ()) ?metrics ~handler () =
   {
     engine;
@@ -24,36 +26,40 @@ let create ~engine ~graph ~delay ~faults ~rng ?(kind = fun _ -> "msg")
     faults;
     rng;
     kind;
+    kind_index;
     on_drop;
     handler;
-    stats = Link_stats.create ~n:(Cgraph.Graph.n graph) ?metrics ();
+    stats = Link_stats.create ~graph ~kinds:kind_names ?metrics ();
     recorder = Sim.Engine.recorder engine;
     tracing = Obs.Recorder.tracing_flag (Sim.Engine.recorder engine);
-    last_delivery = Hashtbl.create 64;
+    last_delivery = Array.make (Cgraph.Graph.dir_count graph) Sim.Time.zero;
   }
 
 let send t ~src ~dst msg =
-  if not (Cgraph.Graph.is_edge t.graph src dst) then
+  let slot = Cgraph.Graph.dir_index_opt t.graph src dst in
+  if slot < 0 then
     invalid_arg (Printf.sprintf "Network.send: %d and %d are not neighbors" src dst);
   if not (Faults.is_crashed t.faults src) then begin
     let now = Sim.Engine.now t.engine in
-    let kind = t.kind msg in
+    let kind = t.kind_index msg in
     Link_stats.record_send t.stats ~src ~dst ~kind ~at:now;
     let raw = Sim.Time.add now (Delay.sample t.delay t.rng ~now) in
-    let floor = Option.value (Hashtbl.find_opt t.last_delivery (src, dst)) ~default:Sim.Time.zero in
-    let at = Sim.Time.max raw floor in
-    Hashtbl.replace t.last_delivery (src, dst) at;
-    if !(t.tracing) then Obs.Recorder.send t.recorder ~time:now ~src ~dst ~tag:kind ~deliver_at:at;
+    let at = Sim.Time.max raw t.last_delivery.(slot) in
+    t.last_delivery.(slot) <- at;
+    if !(t.tracing) then
+      Obs.Recorder.send t.recorder ~time:now ~src ~dst ~tag:(t.kind msg) ~deliver_at:at;
     ignore
       (Sim.Engine.schedule t.engine ~at (fun () ->
            if Faults.is_crashed t.faults dst then begin
              Link_stats.record_drop t.stats ~src ~dst ~kind ~at;
-             if !(t.tracing) then Obs.Recorder.drop t.recorder ~time:at ~src ~dst ~tag:kind;
+             if !(t.tracing) then
+               Obs.Recorder.drop t.recorder ~time:at ~src ~dst ~tag:(t.kind msg);
              t.on_drop ~src ~dst msg
            end
            else begin
              Link_stats.record_delivery t.stats ~src ~dst ~kind ~at;
-             if !(t.tracing) then Obs.Recorder.deliver t.recorder ~time:at ~src ~dst ~tag:kind;
+             if !(t.tracing) then
+               Obs.Recorder.deliver t.recorder ~time:at ~src ~dst ~tag:(t.kind msg);
              t.handler ~dst ~src msg
            end))
   end

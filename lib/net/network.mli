@@ -25,13 +25,18 @@ val create :
   faults:Faults.t ->
   rng:Sim.Rng.t ->
   ?kind:('msg -> string) ->
+  ?kind_index:('msg -> int) ->
+  ?kind_names:string array ->
   ?on_drop:(src:int -> dst:int -> 'msg -> unit) ->
   ?metrics:Obs.Metrics.t ->
   handler:(dst:int -> src:int -> 'msg -> unit) ->
   unit ->
   'msg t
-(** [kind] labels messages for {!Link_stats} breakdowns (defaults to a
-    single ["msg"] kind). The handler runs at the message's virtual
+(** [kind] labels messages in traces; [kind_index]/[kind_names] give the
+    dense kind numbering used by {!Link_stats} breakdowns — [kind_index]
+    must return an index into [kind_names], and the name tables should
+    agree ([kind] defaults to a single ["msg"] kind, [kind_index] to
+    [fun _ -> 0]). The handler runs at the message's virtual
     delivery time. [on_drop] is invoked instead of [handler] when a message
     reaches a crashed destination and is absorbed — protocols that must
     conserve resources carried by messages (forks, tokens) account for the

@@ -1,37 +1,76 @@
+(* Compile-time proof that both queue backends satisfy the contract the
+   engine programs against. *)
+module _ : Queue_sig.S = Pqueue
+module _ : Queue_sig.S = Wheel
+
 (* [state] packs the event id with its lifecycle flags so the record
    stays at two fields — bit 0 = cancelled, bit 1 = fired, bits 2..
    = id. Keeping the per-event allocation small matters: the engine
-   allocates one of these per scheduled event on the hot path. *)
-type event = { mutable state : int; action : unit -> unit }
+   allocates one of these per scheduled event on the hot path. [action]
+   is mutable so cancel/fire can drop the closure: a cancelled husk may
+   sit in the queue until its tick is reached, and it must not retain
+   the closure's environment for all that time. *)
+type event = { mutable state : int; mutable action : unit -> unit }
 
 let cancelled_bit = 1
 let fired_bit = 2
 let id_of_state st = st lsr 2
+let noop () = ()
 
 type event_id = event option
 
+type backend = [ `Heap | `Wheel ]
+
+(* Runtime switch rather than a functor: worlds pick their backend per
+   engine (CLI flag, differential tests), and the one-branch dispatch is
+   noise next to the queue operation itself. *)
+type queue = Q_heap of event Pqueue.t | Q_wheel of event Wheel.t
+
 type t = {
   mutable clock : Time.t;
-  queue : event Pqueue.t;
+  queue : queue;
   mutable processed : int;
   mutable next_id : int;
   recorder : Obs.Recorder.t;
   tracing : bool ref; (* the recorder's live full-tracing flag *)
 }
 
-let create ?recorder () =
+let default_backend : backend = `Wheel
+
+let create ?(backend = default_backend) ?recorder () =
   let recorder = match recorder with Some r -> r | None -> Obs.Recorder.create () in
+  let dead ev = ev.state land cancelled_bit <> 0 in
+  let queue =
+    match backend with
+    | `Heap -> Q_heap (Pqueue.create ~dead ())
+    | `Wheel -> Q_wheel (Wheel.create ~dead ())
+  in
   {
     clock = Time.zero;
-    queue = Pqueue.create ~dead:(fun ev -> ev.state land cancelled_bit <> 0) ();
+    queue;
     processed = 0;
     next_id = 0;
     recorder;
     tracing = Obs.Recorder.tracing_flag recorder;
   }
 
+let backend t = match t.queue with Q_heap _ -> `Heap | Q_wheel _ -> `Wheel
 let now t = t.clock
 let recorder t = t.recorder
+
+let q_add t ~prio ev =
+  match t.queue with
+  | Q_heap q -> Pqueue.add q ~prio ev
+  | Q_wheel q -> Wheel.add q ~prio ev
+
+let q_note_dead t =
+  match t.queue with Q_heap q -> Pqueue.note_dead q | Q_wheel q -> Wheel.note_dead q
+
+let q_peek_prio t =
+  match t.queue with Q_heap q -> Pqueue.peek_prio q | Q_wheel q -> Wheel.peek_prio q
+
+let q_pop t = match t.queue with Q_heap q -> Pqueue.pop q | Q_wheel q -> Wheel.pop q
+let q_size t = match t.queue with Q_heap q -> Pqueue.size q | Q_wheel q -> Wheel.size q
 
 let schedule t ~at f =
   if at = Time.infinity then None
@@ -41,7 +80,7 @@ let schedule t ~at f =
         (Printf.sprintf "Engine.schedule: at=%d is in the past (now=%d)" at t.clock);
     let ev = { state = t.next_id lsl 2; action = f } in
     t.next_id <- t.next_id + 1;
-    Pqueue.add t.queue ~prio:at ev;
+    q_add t ~prio:at ev;
     (* Call-site guard: the emission call is skipped entirely when full
        tracing is off, keeping the hot path at one load + branch. *)
     if !(t.tracing) then
@@ -59,7 +98,10 @@ let cancel t id =
          fired event must not skew the queue's husk accounting. *)
       if ev.state land (cancelled_bit lor fired_bit) = 0 then begin
         ev.state <- ev.state lor cancelled_bit;
-        Pqueue.note_dead t.queue;
+        (* The husk stays queued until popped or compacted away; drop the
+           closure now so it doesn't pin its environment until then. *)
+        ev.action <- noop;
+        q_note_dead t;
         if !(t.tracing) then
           Obs.Recorder.cancel t.recorder ~time:t.clock ~id:(id_of_state ev.state)
       end
@@ -67,11 +109,11 @@ let cancel t id =
 let run t ~until =
   let continue = ref true in
   while !continue do
-    match Pqueue.peek_prio t.queue with
+    match q_peek_prio t with
     | None -> continue := false
     | Some at when at > until -> continue := false
     | Some _ -> (
-        match Pqueue.pop t.queue with
+        match q_pop t with
         | None -> continue := false
         | Some (at, ev) ->
             let st = ev.state in
@@ -80,10 +122,14 @@ let run t ~until =
               t.clock <- at;
               t.processed <- t.processed + 1;
               if !(t.tracing) then Obs.Recorder.fire t.recorder ~time:at ~id:(id_of_state st);
-              ev.action ()
+              let action = ev.action in
+              (* Release the closure before running it: the caller may
+                 hold the event_id long after the event fires. *)
+              ev.action <- noop;
+              action ()
             end)
   done
 
 let run_all t = run t ~until:Time.infinity
-let pending t = Pqueue.size t.queue
+let pending t = q_size t
 let processed t = t.processed

@@ -1,0 +1,48 @@
+(** The event-queue contract the engine programs against.
+
+    Two implementations satisfy it: {!Pqueue}, the reference binary heap
+    (O(log n) operations, any integer priority), and {!Wheel}, the
+    hierarchical timing wheel (amortised O(1) operations, non-negative
+    priorities that never go below the last popped one — exactly the
+    discipline a virtual-time engine follows). The differential tests in
+    [test/test_sim.ml] drive both through identical randomized
+    schedule/cancel/pop workloads and assert equal pop streams, husks
+    included, so the engine can switch backend without observable
+    change. *)
+
+module type S = sig
+  type 'a t
+
+  val create : ?dead:('a -> bool) -> unit -> 'a t
+  (** [create ~dead ()] makes an empty queue. [dead v] must answer
+      whether entry [v] has been logically cancelled; it is consulted
+      during compaction and on {!pop} to maintain the dead-entry count.
+      Without [dead], the queue never compacts. *)
+
+  val add : 'a t -> prio:int -> 'a -> unit
+  (** Insert an element with the given priority. *)
+
+  val note_dead : 'a t -> unit
+  (** Tell the queue one of its entries just became dead. May trigger a
+      compaction that drops every entry for which the [dead] predicate
+      holds. Call at most once per logically cancelled entry. *)
+
+  val compact : 'a t -> unit
+  (** Force a rebuild dropping dead entries now. No-op without a [dead]
+      predicate. *)
+
+  val pop : 'a t -> (int * 'a) option
+  (** Remove and return the minimum entry, FIFO among equal priorities.
+      Dead entries are returned like any other (the caller skips them);
+      popping one decrements the dead-entry count. *)
+
+  val peek_prio : 'a t -> int option
+  (** Priority of the minimum entry without removing it. *)
+
+  val size : 'a t -> int
+  (** Entries currently queued, including dead husks not yet reclaimed
+      by compaction. *)
+
+  val is_empty : 'a t -> bool
+  val clear : 'a t -> unit
+end

@@ -1,0 +1,61 @@
+(** Hierarchical timing wheel used as the simulator's event queue at
+    scale.
+
+    Eight levels of 256 slots cover the full non-negative tick range;
+    an entry is filed at the level of the highest byte in which its
+    tick differs from the wheel's floor (the last popped tick).
+    Schedule, fire and cancel are amortised O(1): popping drains one
+    level-0 slot at a time into a FIFO buffer, occasionally cascading a
+    higher-level slot down one level.
+
+    The observable behaviour — pop order among equal ticks, husk
+    handling for cancelled entries, the compaction threshold — matches
+    {!Pqueue} exactly (see {!Queue_sig.S}), so the engine can switch
+    between the two without changing a single trace. The extra
+    constraints the wheel imposes, priorities non-negative and never
+    below the last popped one, are precisely the discipline a
+    virtual-time engine already follows; violations raise
+    [Invalid_argument]. *)
+
+type 'a t
+
+val create : ?dead:('a -> bool) -> unit -> 'a t
+(** [create ~dead ()] makes an empty wheel. [dead v] must answer
+    whether entry [v] has been logically cancelled; it is consulted
+    during compaction and on {!pop} to maintain the dead-entry count.
+    Without [dead], the wheel never compacts. *)
+
+val add : 'a t -> prio:int -> 'a -> unit
+(** Insert an element with the given priority (tick). Amortised O(1).
+    @raise Invalid_argument if [prio] is negative or below the last
+    popped tick. *)
+
+val note_dead : 'a t -> unit
+(** Tell the wheel one of its entries just became dead. May trigger a
+    compaction that drops every entry for which the [dead] predicate
+    holds. Call at most once per logically cancelled entry. *)
+
+val compact : 'a t -> unit
+(** Force a sweep dropping dead entries now. No-op without a [dead]
+    predicate. O(n + slots). *)
+
+val pop : 'a t -> (int * 'a) option
+(** Remove and return the minimum entry, FIFO among equal priorities.
+    Amortised O(1). Dead entries are returned like any other (the
+    caller skips them); popping one decrements the dead-entry count. *)
+
+val peek_prio : 'a t -> int option
+(** Priority of the minimum entry without removing it. Does not
+    advance the wheel. *)
+
+val size : 'a t -> int
+(** Entries currently queued, including dead husks not yet reclaimed
+    by compaction. *)
+
+val is_empty : 'a t -> bool
+
+val floor : 'a t -> int
+(** The last popped tick — no queued entry is below it. Exposed for
+    tests and diagnostics. *)
+
+val clear : 'a t -> unit

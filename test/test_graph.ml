@@ -82,6 +82,7 @@ let expected_shape = function
   | Wheel n -> (n, 2 * (n - 1), n - 1)
   | Bipartite (a, b) -> (a + b, a * b, max a b)
   | Random_gnp (n, _, _) -> (n, -1, -1)
+  | Scale_free (n, m, _) -> (n, m + ((n - m - 1) * m), -1)
 
 let topology_shapes () =
   List.iter
@@ -134,7 +135,39 @@ let topology_gnp_deterministic () =
 
 let topology_rejects () =
   Alcotest.check_raises "tiny ring" (Invalid_argument "Topology.build: ring needs n >= 3")
-    (fun () -> ignore (Cgraph.Topology.build (Cgraph.Topology.Ring 2)))
+    (fun () -> ignore (Cgraph.Topology.build (Cgraph.Topology.Ring 2)));
+  Alcotest.check_raises "sf m too small"
+    (Invalid_argument "Topology.build: scale_free needs m >= 1") (fun () ->
+      ignore (Cgraph.Topology.build (Cgraph.Topology.Scale_free (10, 0, 1L))));
+  Alcotest.check_raises "sf n too small"
+    (Invalid_argument "Topology.build: scale_free needs n >= m + 1") (fun () ->
+      ignore (Cgraph.Topology.build (Cgraph.Topology.Scale_free (3, 3, 1L))))
+
+let topology_scale_free_structure () =
+  List.iter
+    (fun (n, m) ->
+      let g = Cgraph.Topology.build (Cgraph.Topology.Scale_free (n, m, 7L)) in
+      let label = Printf.sprintf "sf-%d-%d" n m in
+      check int (label ^ " vertices") n (Cgraph.Graph.n g);
+      (* Star seed contributes m edges, each later vertex m more; the
+         attachment targets are distinct so no edges collapse. *)
+      check int (label ^ " edges") (m + ((n - m - 1) * m)) (Cgraph.Graph.edge_count g);
+      check bool (label ^ " connected") true (Cgraph.Graph.is_connected g);
+      (* Every non-seed vertex attaches with exactly m stubs, so the
+         minimum degree is m; preferential attachment must concentrate
+         degree well above that somewhere (the hub). *)
+      let min_deg = ref max_int in
+      for v = 0 to n - 1 do
+        min_deg := min !min_deg (Cgraph.Graph.degree g v)
+      done;
+      check int (label ^ " min degree") m !min_deg;
+      check bool (label ^ " has a hub") true (Cgraph.Graph.max_degree g >= 2 * m))
+    [ (50, 1); (200, 2); (300, 4) ];
+  let a = Cgraph.Topology.build (Cgraph.Topology.Scale_free (120, 2, 5L)) in
+  let b = Cgraph.Topology.build (Cgraph.Topology.Scale_free (120, 2, 5L)) in
+  let c = Cgraph.Topology.build (Cgraph.Topology.Scale_free (120, 2, 6L)) in
+  check bool "same seed same graph" true (Cgraph.Graph.edges a = Cgraph.Graph.edges b);
+  check bool "different seed different graph" true (Cgraph.Graph.edges a <> Cgraph.Graph.edges c)
 
 let topology_parse_roundtrip () =
   List.iter
@@ -153,6 +186,8 @@ let topology_parse_roundtrip () =
       ("cube:3", Cgraph.Topology.Hypercube 3);
       ("wheel:6", Cgraph.Topology.Wheel 6);
       ("bipartite:3x4", Cgraph.Topology.Bipartite (3, 4));
+      ("sf:200:2:42", Cgraph.Topology.Scale_free (200, 2, 42L));
+      ("sf:50:3", Cgraph.Topology.Scale_free (50, 3, 1L));
     ];
   check bool "garbage rejected" true (Result.is_error (Cgraph.Topology.parse "blorp:3"));
   check bool "bad dims rejected" true (Result.is_error (Cgraph.Topology.parse "grid:3y4"))
@@ -205,6 +240,7 @@ let suite =
     Alcotest.test_case "topology: wheel structure" `Quick topology_wheel_structure;
     Alcotest.test_case "topology: bipartite structure" `Quick topology_bipartite_structure;
     Alcotest.test_case "topology: gnp determinism" `Quick topology_gnp_deterministic;
+    Alcotest.test_case "topology: scale-free structure" `Quick topology_scale_free_structure;
     Alcotest.test_case "topology: size validation" `Quick topology_rejects;
     Alcotest.test_case "topology: parser round-trips" `Quick topology_parse_roundtrip;
     Alcotest.test_case "coloring: proper on standard topologies" `Quick coloring_proper_on_standards;

@@ -42,6 +42,32 @@ let deterministic_replay () =
   check int "same violations" (Monitor.Exclusion.count a.exclusion) (Monitor.Exclusion.count b.exclusion);
   check bool "same crash plan" true (a.crashed = b.crashed)
 
+(* The queue backend is an engine implementation detail: the same scenario
+   must produce a bit-identical execution — down to the full trace record
+   stream — on the binary heap and on the timing wheel. *)
+let backend_equivalence () =
+  let s =
+    scenario ~topology:(Cgraph.Topology.Random_gnp (14, 0.25, 2L)) ~detector:noisy_oracle
+      ~crashes:(Harness.Scenario.Random_crashes { count = 2; from_t = 1_000; to_t = 9_000 })
+      ()
+  in
+  let run backend =
+    let trace = Sim.Trace.collecting () in
+    let r = Harness.Run.run ~backend ~trace s in
+    (r, Sim.Trace.records trace)
+  in
+  let a, ta = run `Heap and b, tb = run `Wheel in
+  check int "same eats" a.total_eats b.total_eats;
+  check int "same events" a.events_processed b.events_processed;
+  check bool "same per-process eats" true (a.eats_per_process = b.eats_per_process);
+  check bool "same crash plan" true (a.crashed = b.crashed);
+  check int "same convergence" a.convergence b.convergence;
+  check int "same hungry transitions" a.hungry_transitions b.hungry_transitions;
+  check int "same exclusion verdict" (Monitor.Exclusion.count a.exclusion)
+    (Monitor.Exclusion.count b.exclusion);
+  check int "same trace length" (List.length ta) (List.length tb);
+  check bool "identical traces" true (ta = tb)
+
 let seed_changes_run () =
   let s1 = scenario ~seed:1L () and s2 = scenario ~seed:2L () in
   let a = Harness.Run.run s1 and b = Harness.Run.run s2 in
@@ -351,6 +377,7 @@ let experiments_registry () =
 let suite =
   [
     Alcotest.test_case "deterministic replay" `Quick deterministic_replay;
+    Alcotest.test_case "heap and wheel backends are trace-identical" `Quick backend_equivalence;
     Alcotest.test_case "seed sensitivity" `Quick seed_changes_run;
     Alcotest.test_case "crash plans" `Quick crash_plans;
     Alcotest.test_case "workload drives everyone" `Quick workload_drives_everyone;

@@ -185,12 +185,13 @@ let network_in_flight_messages_survive_sender_crash () =
 (* ---------------------------- Link_stats --------------------------- *)
 
 let link_stats_watermarks () =
-  let stats = Net.Link_stats.create ~n:3 () in
-  Net.Link_stats.record_send stats ~src:0 ~dst:1 ~kind:"a" ~at:1;
-  Net.Link_stats.record_send stats ~src:1 ~dst:0 ~kind:"b" ~at:2;
-  Net.Link_stats.record_send stats ~src:0 ~dst:1 ~kind:"a" ~at:3;
+  let graph = Cgraph.Graph.of_edges ~n:3 [ (0, 1); (1, 2) ] in
+  let stats = Net.Link_stats.create ~graph ~kinds:[| "a"; "b" |] () in
+  Net.Link_stats.record_send stats ~src:0 ~dst:1 ~kind:0 ~at:1;
+  Net.Link_stats.record_send stats ~src:1 ~dst:0 ~kind:1 ~at:2;
+  Net.Link_stats.record_send stats ~src:0 ~dst:1 ~kind:0 ~at:3;
   check int "edge in flight counts both directions" 3 (Net.Link_stats.edge_in_flight stats 0 1);
-  Net.Link_stats.record_delivery stats ~src:0 ~dst:1 ~kind:"a" ~at:4;
+  Net.Link_stats.record_delivery stats ~src:0 ~dst:1 ~kind:0 ~at:4;
   check int "delivery decrements" 2 (Net.Link_stats.edge_in_flight stats 0 1);
   check int "watermark keeps max" 3 (Net.Link_stats.edge_watermark stats 0 1);
   check int "global watermark" 3 (Net.Link_stats.max_edge_watermark stats);
@@ -198,9 +199,10 @@ let link_stats_watermarks () =
   check (Alcotest.list (Alcotest.pair Alcotest.string int)) "per kind" [ ("a", 2); ("b", 1) ] by_kind
 
 let link_stats_watched_windows () =
-  let stats = Net.Link_stats.create ~n:2 () in
+  let graph = Cgraph.Graph.of_edges ~n:2 [ (0, 1) ] in
+  let stats = Net.Link_stats.create ~graph () in
   Net.Link_stats.watch_dst stats 1;
-  List.iter (fun at -> Net.Link_stats.record_send stats ~src:0 ~dst:1 ~kind:"m" ~at) [ 5; 15; 25; 35 ];
+  List.iter (fun at -> Net.Link_stats.record_send stats ~src:0 ~dst:1 ~kind:0 ~at) [ 5; 15; 25; 35 ];
   check int "window [10,30)" 2 (Net.Link_stats.sends_to_in_window stats ~dst:1 ~from_t:10 ~to_t:30);
   check int "after 20" 2 (Net.Link_stats.sends_to_after stats ~dst:1 ~after:20);
   check int "total to dst" 4 (Net.Link_stats.total_sends_to stats ~dst:1);
@@ -208,10 +210,11 @@ let link_stats_watched_windows () =
     (fun () -> ignore (Net.Link_stats.sends_to_after stats ~dst:0 ~after:0))
 
 let link_stats_last_send () =
-  let stats = Net.Link_stats.create ~n:3 () in
+  let graph = Cgraph.Graph.of_edges ~n:3 [ (0, 1); (1, 2) ] in
+  let stats = Net.Link_stats.create ~graph () in
   check bool "none initially" true (Net.Link_stats.last_send_to stats 1 = None);
-  Net.Link_stats.record_send stats ~src:0 ~dst:1 ~kind:"m" ~at:7;
-  Net.Link_stats.record_send stats ~src:1 ~dst:2 ~kind:"m" ~at:9;
+  Net.Link_stats.record_send stats ~src:0 ~dst:1 ~kind:0 ~at:7;
+  Net.Link_stats.record_send stats ~src:1 ~dst:2 ~kind:0 ~at:9;
   check bool "last send to" true (Net.Link_stats.last_send_to stats 1 = Some 7);
   check bool "last send involving" true (Net.Link_stats.last_send_involving stats 1 = Some 9)
 

@@ -213,6 +213,114 @@ let pqueue_compaction_agrees =
       in
       drain q = drain plain)
 
+(* ------------------------------ Wheel ------------------------------ *)
+
+let wheel_orders () =
+  let q = Sim.Wheel.create () in
+  List.iter (fun p -> Sim.Wheel.add q ~prio:p p) [ 5; 1; 4; 1; 3 ];
+  let order = List.init 5 (fun _ -> fst (Option.get (Sim.Wheel.pop q))) in
+  check (Alcotest.list int) "sorted" [ 1; 1; 3; 4; 5 ] order;
+  check bool "now empty" true (Sim.Wheel.is_empty q)
+
+let wheel_fifo_ties () =
+  let q = Sim.Wheel.create () in
+  List.iteri (fun i label -> Sim.Wheel.add q ~prio:7 (i, label)) [ "a"; "b"; "c"; "d" ];
+  let labels = List.init 4 (fun _ -> snd (snd (Option.get (Sim.Wheel.pop q)))) in
+  check (Alcotest.list Alcotest.string) "insertion order at equal prio" [ "a"; "b"; "c"; "d" ]
+    labels
+
+(* Priorities spanning every wheel level, including ticks far beyond the
+   low levels' horizon, drain in global order with ties FIFO. *)
+let wheel_multilevel_spans () =
+  let q = Sim.Wheel.create () in
+  let prios =
+    [ 0; 255; 256; 257; 65_535; 65_536; 1; 16_777_215; 16_777_216; (1 lsl 40) + 3; 1 lsl 40 ]
+  in
+  List.iteri (fun i p -> Sim.Wheel.add q ~prio:p (i, p)) prios;
+  let rec drain acc =
+    match Sim.Wheel.pop q with None -> List.rev acc | Some (p, _) -> drain (p :: acc)
+  in
+  check (Alcotest.list int) "global order across levels"
+    (List.sort compare prios) (drain [])
+
+let wheel_floor_rejects_past () =
+  let q = Sim.Wheel.create () in
+  Sim.Wheel.add q ~prio:100 "x";
+  ignore (Sim.Wheel.pop q);
+  check int "floor tracks the last popped tick" 100 (Sim.Wheel.floor q);
+  let rejected =
+    match Sim.Wheel.add q ~prio:99 "past" with
+    | () -> false
+    | exception Invalid_argument _ -> true
+  in
+  check bool "adds below the floor are rejected" true rejected;
+  (* Adding exactly at the floor (the engine's "schedule now") is fine. *)
+  Sim.Wheel.add q ~prio:100 "now";
+  check (Alcotest.option int) "same-tick add lands at the floor" (Some 100)
+    (Sim.Wheel.peek_prio q)
+
+let wheel_matches_pqueue =
+  (* The engine promises the wheel is a drop-in replacement for the heap:
+     identical pop streams — husks included — identical peeks, identical
+     sizes, under arbitrary interleavings of add / pop / cancel with the
+     shared dead-husk compaction policy. *)
+  QCheck.Test.make ~name:"wheel: bit-identical to pqueue on random workloads" ~count:300
+    QCheck.(pair (list_of_size Gen.(int_range 0 120) (int_bound 100_000)) (int_bound 10_000))
+    (fun (codes, salt) ->
+      let dead = Hashtbl.create 16 in
+      let is_dead (i, _) = Hashtbl.mem dead i in
+      let w = Sim.Wheel.create ~dead:is_dead () in
+      let p = Sim.Pqueue.create ~dead:is_dead () in
+      let now = ref 0 in
+      let idx = ref 0 in
+      let added = ref [] in
+      let ok = ref true in
+      let agree () =
+        ok :=
+          !ok
+          && Sim.Wheel.peek_prio w = Sim.Pqueue.peek_prio p
+          && Sim.Wheel.size w = Sim.Pqueue.size p
+      in
+      List.iter
+        (fun code ->
+          (match code mod 3 with
+          | 0 ->
+              (* Mostly short hops, occasionally a jump that crosses
+                 several wheel levels. *)
+              let delta =
+                if code mod 5 = 0 then (((code / 3) mod 4) * 1_000_000) + (code mod 97)
+                else (code / 3) mod 500
+              in
+              let prio = !now + delta in
+              let v = (!idx, prio) in
+              incr idx;
+              added := fst v :: !added;
+              Sim.Wheel.add w ~prio v;
+              Sim.Pqueue.add p ~prio v
+          | 1 -> (
+              let a = Sim.Wheel.pop w and b = Sim.Pqueue.pop p in
+              ok := !ok && a = b;
+              match a with Some (t, _) -> now := t | None -> ())
+          | _ -> (
+              match !added with
+              | [] -> ()
+              | l ->
+                  let k = List.nth l ((code + salt) mod List.length l) in
+                  if not (Hashtbl.mem dead k) then begin
+                    Hashtbl.replace dead k ();
+                    Sim.Wheel.note_dead w;
+                    Sim.Pqueue.note_dead p
+                  end));
+          agree ())
+        codes;
+      let rec drain () =
+        let a = Sim.Wheel.pop w and b = Sim.Pqueue.pop p in
+        ok := !ok && a = b;
+        if a <> None then drain ()
+      in
+      drain ();
+      !ok)
+
 (* ------------------------------ Engine ----------------------------- *)
 
 let engine_fires_in_order () =
@@ -301,6 +409,66 @@ let engine_infinity_noop () =
   Sim.Engine.run_all engine;
   check int "nothing pending" 0 (Sim.Engine.pending engine)
 
+(* Regression: cancelling an event used to leave its action closure
+   reachable from the queue husk until the tick came due; with long
+   timeouts that pinned arbitrarily large captured state. The action must
+   be collectable the moment it is cancelled. *)
+let engine_cancel_releases_closure backend () =
+  let engine = Sim.Engine.create ~backend () in
+  let weak = Weak.create 1 in
+  let id =
+    (* Build the closure in a local scope so the only strong reference to
+       its captured payload is the scheduled action itself. *)
+    let payload = Bytes.make 4096 'x' in
+    Weak.set weak 0 (Some payload);
+    Sim.Engine.schedule engine ~at:1_000_000 (fun () -> ignore (Bytes.length payload))
+  in
+  (* A second pending event keeps the queue non-trivial so the husk is
+     genuinely retained (no compaction at size 2). *)
+  ignore (Sim.Engine.schedule engine ~at:2_000_000 (fun () -> ()));
+  Sim.Engine.cancel engine id;
+  Gc.full_major ();
+  check bool "cancelled action is collectable before its tick" true (Weak.get weak 0 = None)
+
+(* The two queue backends must drive identical executions: same firing
+   order, same clock, same processed count, on randomized workloads whose
+   handlers reschedule and cancel. *)
+let engine_backends_agree =
+  QCheck.Test.make ~name:"engine: heap and wheel backends fire identically" ~count:60
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let run backend =
+        let engine = Sim.Engine.create ~backend () in
+        let rng = Sim.Rng.create (Int64.of_int seed) in
+        let log = ref [] in
+        let pending = ref [] in
+        let budget = ref 0 in
+        let rec handler tag () =
+          log := (tag, Sim.Engine.now engine) :: !log;
+          if !budget < 400 then begin
+            let fanout = Sim.Rng.int rng 3 in
+            for _ = 1 to fanout do
+              incr budget;
+              let delay = Sim.Rng.int rng 5_000 in
+              let tag = !budget in
+              pending := Sim.Engine.schedule_after engine ~delay (handler tag) :: !pending
+            done;
+            (* Occasionally cancel one of the remembered events (it may
+               already have fired; cancel must be idempotent either way). *)
+            if Sim.Rng.int rng 4 = 0 then
+              match !pending with
+              | [] -> ()
+              | l -> Sim.Engine.cancel engine (List.nth l (Sim.Rng.int rng (List.length l)))
+          end
+        in
+        for i = 1 to 10 do
+          ignore (Sim.Engine.schedule engine ~at:(Sim.Rng.int rng 1_000) (handler (-i)))
+        done;
+        Sim.Engine.run_all engine;
+        (List.rev !log, Sim.Engine.now engine, Sim.Engine.processed engine)
+      in
+      run `Heap = run `Wheel)
+
 (* ------------------------------ Trace ------------------------------ *)
 
 let trace_disabled_by_default () =
@@ -350,6 +518,11 @@ let suite =
     Alcotest.test_case "pqueue: compacts when mostly dead" `Quick pqueue_compacts_when_mostly_dead;
     Alcotest.test_case "pqueue: forced compaction" `Quick pqueue_forced_compact;
     QCheck_alcotest.to_alcotest pqueue_compaction_agrees;
+    Alcotest.test_case "wheel: orders by priority" `Quick wheel_orders;
+    Alcotest.test_case "wheel: FIFO ties" `Quick wheel_fifo_ties;
+    Alcotest.test_case "wheel: spans every level" `Quick wheel_multilevel_spans;
+    Alcotest.test_case "wheel: rejects below the floor" `Quick wheel_floor_rejects_past;
+    QCheck_alcotest.to_alcotest wheel_matches_pqueue;
     Alcotest.test_case "engine: fires in time order" `Quick engine_fires_in_order;
     Alcotest.test_case "engine: FIFO at equal times" `Quick engine_same_time_fifo;
     Alcotest.test_case "engine: run ~until" `Quick engine_until_bound;
@@ -358,6 +531,11 @@ let suite =
     Alcotest.test_case "engine: handlers schedule more events" `Quick engine_nested_scheduling;
     Alcotest.test_case "engine: mass cancellation compacts" `Quick engine_mass_cancel;
     Alcotest.test_case "engine: infinity is a no-op" `Quick engine_infinity_noop;
+    Alcotest.test_case "engine: cancel releases the closure (heap)" `Quick
+      (engine_cancel_releases_closure `Heap);
+    Alcotest.test_case "engine: cancel releases the closure (wheel)" `Quick
+      (engine_cancel_releases_closure `Wheel);
+    QCheck_alcotest.to_alcotest engine_backends_agree;
     Alcotest.test_case "trace: disabled by default" `Quick trace_disabled_by_default;
     Alcotest.test_case "trace: collects records" `Quick trace_collects;
     Alcotest.test_case "trace: callback sink" `Quick trace_sink;
