@@ -1,8 +1,22 @@
 (* lint — the determinism & domain-safety static-analysis pass.
 
-   Parses every .ml in the deterministic zone with compiler-libs and
-   applies the Lint.Rule set. Exit codes: 0 clean, 1 findings, 2 on
-   unreadable/unparsable inputs or bad flags. *)
+   Two layers:
+   - the syntactic pass parses every .ml in the deterministic zone with
+     compiler-libs and applies the syntactic Lint.Rule subset;
+   - with --typed, the interprocedural passes (domain-escape,
+     hot-path-alloc, transitive effect inference) additionally run over
+     .cmt artifacts — `dune build @lint` depends on @check and runs
+     from the build context so the artifacts are in place. With
+     positional FILEs, --typed typechecks them in-process instead
+     (fixture / test mode; files must be self-contained).
+
+   Hygiene: every [@lint.allow] site and allowlist entry is tracked
+   across all passes. Stale allowlist entries (suppressed nothing,
+   their rule was checked, their path was scanned) are findings; unused
+   [@lint.allow] attributes are warnings.
+
+   Exit codes: 0 clean, 1 findings, 2 on unreadable/unparsable inputs
+   or bad flags. *)
 
 open Cmdliner
 
@@ -40,6 +54,16 @@ let allowlist_arg =
           "Allowlist file ($(i,rule-id path) per line, # comments). Defaults to \
            ./lint.allow when present.")
 
+let typed_arg =
+  Arg.(
+    value & flag
+    & info [ "typed" ]
+        ~doc:
+          "Also run the typed interprocedural passes (domain-escape, hot-path-alloc, \
+           transitive ambient/io/mutation effects) over the zone's .cmt artifacts; run \
+           via $(b,dune build @lint) so the artifacts exist. With positional FILEs the \
+           sources are typechecked in-process instead (they must be self-contained).")
+
 let list_rules_arg =
   Arg.(value & flag & info [ "list-rules" ] ~doc:"Print the rule catalogue and exit.")
 
@@ -55,7 +79,115 @@ let list_rules () =
     (fun r -> Printf.printf "%-18s %s\n\n" (Lint.Rule.name r) (Lint.Rule.explanation r))
     Lint.Rule.all
 
-let go rules zone format allowlist list_rules_only files =
+let read_file f =
+  let ic = open_in_bin f in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Load typed units: from .cmt artifacts for a zone scan, by in-process
+   typechecking for explicit files. *)
+let typed_units ~files ~dirs =
+  if files <> [] then
+    let units, errors =
+      List.fold_left
+        (fun (us, errs) f ->
+          match read_file f with
+          | exception Sys_error e -> (us, (f, e) :: errs)
+          | source -> (
+              match Lint.Cmt_load.typecheck_source ~file:f source with
+              | Ok u -> (u :: us, errs)
+              | Error e -> (us, (f, e) :: errs)))
+        ([], []) files
+    in
+    { Lint.Cmt_load.units = List.rev units; errors = List.rev errors }
+  else Lint.Cmt_load.load_dirs dirs
+
+let run_typed ~rules ~allowlist ~registry ~files ~dirs =
+  let has r = List.mem r rules in
+  let wants_escape = has Lint.Rule.Domain_escape in
+  let wants_hot = has Lint.Rule.Hot_path_alloc in
+  let wants_effects =
+    has Lint.Rule.Ambient_effects || has Lint.Rule.Io_in_library
+    || has Lint.Rule.Mutable_global
+  in
+  if not (wants_escape || wants_hot || wants_effects) then ([], [])
+  else
+    let loaded = typed_units ~files ~dirs in
+    if loaded.units = [] then
+      ( [],
+        loaded.errors
+        @ [
+            ( "(typed)",
+              "no .cmt artifacts found — run via `dune build @lint` (which depends on \
+               @check), or pass files to typecheck in-process" );
+          ] )
+    else begin
+      let graph = Lint.Callgraph.build loaded.units in
+      let findings = ref [] in
+      if wants_escape then
+        findings := Lint.Escape.run ~registry ~allowlist graph @ !findings;
+      if wants_hot then findings := Lint.Hotpath.run ~registry ~allowlist graph @ !findings;
+      if wants_effects then
+        findings := Lint.Effects.run ~registry ~allowlist graph @ !findings;
+      let enabled = List.map Lint.Rule.name rules in
+      ( List.filter (fun (f : Lint.Finding.t) -> List.mem f.rule enabled) !findings,
+        loaded.errors )
+    end
+
+(* Sites every rule of which was actually checked this run; a bare
+   [@lint.allow] needs the whole suppressible catalogue. *)
+let suppressible_catalogue =
+  List.map Lint.Rule.name (Lint.Rule.syntactic @ Lint.Rule.typed_only)
+
+let stale_allowlist_findings ~rules ~registry ~allowlist ~allowlist_path ~targets =
+  if not (List.mem Lint.Rule.Stale_allowlist rules) then []
+  else
+    let checked = Lint.Suppress.checked_rules registry in
+    let rule_checked r =
+      if r = "*" then List.for_all (fun c -> List.mem c checked) suppressible_catalogue
+      else List.mem r checked
+    in
+    Lint.Allowlist.unused allowlist
+    |> List.filter (fun (e : Lint.Allowlist.entry) ->
+           rule_checked e.rule
+           && List.exists (fun f -> Lint.Allowlist.path_matches ~entry:e ~file:f) targets)
+    |> List.map (fun (e : Lint.Allowlist.entry) ->
+           {
+             Lint.Finding.file = allowlist_path;
+             line = e.line;
+             col = 1;
+             rule = Lint.Rule.name Lint.Rule.Stale_allowlist;
+             message =
+               Printf.sprintf
+                 "allowlist entry `%s %s` suppressed nothing this run; the code it \
+                  excused is gone — remove the entry"
+                 e.rule e.path;
+           })
+
+let report_unused_allows ~rules ~registry ~format =
+  if not (List.mem Lint.Rule.Unused_allow rules) then 0
+  else begin
+    let sites = Lint.Suppress.unused registry ~catalogue:suppressible_catalogue in
+    List.iter
+      (fun (s : Lint.Suppress.site) ->
+        let what = String.concat "," s.rules in
+        match format with
+        | `Text ->
+            Printf.eprintf
+              "%s:%d:%d: [unused-allow] [@lint.allow %S] suppressed nothing this run; \
+               remove it\n"
+              s.file s.line s.col what
+        | `Github ->
+            Printf.printf
+              "::warning file=%s,line=%d,col=%d::[unused-allow] [@lint.allow %S] \
+               suppressed nothing this run; remove it\n"
+              s.file s.line s.col what)
+      sites;
+    List.length sites
+  end
+
+let go rules zone format allowlist typed list_rules_only files =
   if list_rules_only then begin
     list_rules ();
     0
@@ -76,40 +208,50 @@ let go rules zone format allowlist list_rules_only files =
             (split_commas [ csv ] |> List.filter (fun s -> s <> ""))
     in
     List.iter (Printf.eprintf "lint: unknown rule %S (see --list-rules)\n") !bad_rules;
-    let allowlist =
+    let allowlist_path, allowlist =
       match allowlist with
-      | Some f -> Lint.Allowlist.load f
+      | Some f -> (f, Lint.Allowlist.load f)
       | None ->
-          if Sys.file_exists "lint.allow" then Lint.Allowlist.load "lint.allow"
-          else Lint.Allowlist.empty
+          if Sys.file_exists "lint.allow" then ("lint.allow", Lint.Allowlist.load "lint.allow")
+          else ("lint.allow", Lint.Allowlist.empty)
     in
-    let targets =
-      if files <> [] then files
-      else
-        let dirs = if zone = [] then Lint.Zone.default_dirs else split_commas zone in
-        Lint.Zone.files ~dirs ()
-    in
+    let dirs = if zone = [] then Lint.Zone.default_dirs else split_commas zone in
+    let targets = if files <> [] then files else Lint.Zone.files ~dirs () in
     if !bad_rules <> [] then 2
     else if targets = [] then begin
       Printf.eprintf "lint: nothing to scan (empty zone?)\n";
       2
     end
     else begin
-      let report = Lint.Engine.lint_files ~rules ~allowlist targets in
-      List.iter (fun (file, msg) -> Printf.eprintf "lint: %s: %s\n" file msg) report.errors;
+      let registry = Lint.Suppress.create () in
+      let report = Lint.Engine.lint_files ~rules ~allowlist ~registry targets in
+      let typed_findings, typed_errors =
+        if typed then run_typed ~rules ~allowlist ~registry ~files ~dirs else ([], [])
+      in
+      let errors = report.errors @ typed_errors in
+      let findings =
+        report.findings @ typed_findings
+        @ stale_allowlist_findings ~rules ~registry ~allowlist ~allowlist_path ~targets
+        |> List.sort_uniq Lint.Finding.compare
+      in
+      List.iter (fun (file, msg) -> Printf.eprintf "lint: %s: %s\n" file msg) errors;
       let render =
         match format with `Text -> Lint.Finding.to_text | `Github -> Lint.Finding.to_github
       in
-      List.iter (fun f -> print_endline (render f)) report.findings;
-      match (report.errors, report.findings) with
+      List.iter (fun f -> print_endline (render f)) findings;
+      let unused_count = report_unused_allows ~rules ~registry ~format in
+      match (errors, findings) with
       | _ :: _, _ -> 2
       | [], _ :: _ ->
-          Printf.eprintf "lint: %d finding(s) in %d file(s)\n"
-            (List.length report.findings)
+          Printf.eprintf "lint: %d finding(s) in %d file(s)\n" (List.length findings)
             (List.length targets);
           1
       | [], [] ->
-          Printf.printf "lint: %d file(s) clean\n" (List.length targets);
+          Printf.printf "lint: %d file(s) clean%s%s\n" (List.length targets)
+            (if typed then " (syntactic + typed)" else "")
+            (if unused_count > 0 then
+               Printf.sprintf ", %d unused [@lint.allow] warning(s)" unused_count
+             else "");
           0
     end
 
@@ -118,7 +260,7 @@ let cmd =
     (Cmd.info "lint" ~version:"%%VERSION%%"
        ~doc:"Determinism & domain-safety static analysis for the simulation core.")
     Term.(
-      const go $ rules_arg $ zone_arg $ format_arg $ allowlist_arg $ list_rules_arg
-      $ files_arg)
+      const go $ rules_arg $ zone_arg $ format_arg $ allowlist_arg $ typed_arg
+      $ list_rules_arg $ files_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -105,16 +105,17 @@ let max_degree t =
   done;
   !best
 
-(* Slot of [j] within [i]'s row, or -1. Rows are ascending. *)
-let find_dir t i j =
-  let lo = ref t.off.(i) and hi = ref t.off.(i + 1) in
-  let found = ref (-1) in
-  while !found < 0 && !lo < !hi do
-    let mid = (!lo + !hi) / 2 in
+(* Slot of [j] within [i]'s row, or -1. Rows are ascending. The search
+   is a tail recursion over plain ints: dir_index_opt sits on the
+   per-delivery path of Net.route, so it must not allocate. *)
+let[@lint.hot] rec bsearch t j lo hi =
+  if lo >= hi then -1
+  else
+    let mid = (lo + hi) / 2 in
     let v = t.nbr.(mid) in
-    if v = j then found := mid else if v < j then lo := mid + 1 else hi := mid
-  done;
-  !found
+    if v = j then mid else if v < j then bsearch t j (mid + 1) hi else bsearch t j lo mid
+
+let[@lint.hot] find_dir t i j = bsearch t j t.off.(i) t.off.(i + 1)
 
 let is_edge t i j =
   if i = j then false
@@ -132,7 +133,7 @@ let dir_index t i j =
   if s < 0 then invalid_arg (Printf.sprintf "Graph.dir_index: %d and %d are not neighbors" i j);
   s
 
-let dir_index_opt t i j =
+let[@lint.hot] dir_index_opt t i j =
   if i < 0 || i >= t.n || j < 0 || j >= t.n then -1 else find_dir t i j
 
 let slot_dst t s = t.nbr.(s)

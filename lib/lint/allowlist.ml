@@ -1,4 +1,10 @@
-type entry = { rule : string; path : string } (* rule = "*" allows every rule *)
+type entry = {
+  rule : string; (* "*" allows every rule *)
+  path : string;
+  line : int; (* line in the allowlist file; 0 for of_list entries *)
+  mutable used : bool; (* suppressed at least one finding this run *)
+}
+
 type t = entry list
 
 let empty = []
@@ -8,7 +14,8 @@ let normalize path =
     String.sub path 2 (String.length path - 2)
   else path
 
-let of_list entries = List.map (fun (rule, path) -> { rule; path = normalize path }) entries
+let of_list entries =
+  List.map (fun (rule, path) -> { rule; path = normalize path; line = 0; used = false }) entries
 
 let parse_line ~file ~lineno line =
   let line =
@@ -22,7 +29,7 @@ let parse_line ~file ~lineno line =
     |> List.filter (fun s -> s <> "")
   with
   | [] -> None
-  | [ rule; path ] -> Some { rule; path = normalize path }
+  | [ rule; path ] -> Some { rule; path = normalize path; line = lineno; used = false }
   | _ ->
       invalid_arg
         (Printf.sprintf "%s:%d: expected `<rule-id|*> <path>`, got %S" file lineno line)
@@ -42,7 +49,7 @@ let load file =
       in
       loop 1 [])
 
-let path_matches ~entry ~file =
+let path_matches_entry ~entry ~file =
   let file = normalize file in
   String.equal entry file
   ||
@@ -50,7 +57,21 @@ let path_matches ~entry ~file =
   let lf = String.length file and ls = String.length suffix in
   lf > ls && String.sub file (lf - ls) ls = suffix
 
+let path_matches ~entry ~file = path_matches_entry ~entry:entry.path ~file
+
 let allows t ~rule ~file =
-  List.exists
-    (fun e -> (e.rule = "*" || e.rule = rule) && path_matches ~entry:e.path ~file)
-    t
+  (* Mark every matching entry used, not just the first: a redundant
+     duplicate must not be reported stale because its twin won the
+     lookup. *)
+  List.fold_left
+    (fun acc e ->
+      if (e.rule = "*" || e.rule = rule) && path_matches ~entry:e ~file then begin
+        e.used <- true;
+        true
+      end
+      else acc)
+    false t
+
+let entries t = t
+
+let unused t = List.filter (fun e -> not e.used) t

@@ -2,7 +2,18 @@
     report printers). One entry per line: [<rule-id|*> <path>], [#]
     comments. Site-level suppressions use the [[@lint.allow "rule-id"]]
     attribute instead — prefer those; the allowlist is for files whose
-    whole purpose violates a rule. *)
+    whole purpose violates a rule.
+
+    Entries track whether they suppressed anything this run: the driver
+    reports entries that silenced nothing as [stale-allowlist] errors,
+    so suppressions cannot outlive the code they excused. *)
+
+type entry = {
+  rule : string;  (** rule id, or ["*"] for every rule *)
+  path : string;
+  line : int;  (** line in the allowlist file; 0 for {!of_list} entries *)
+  mutable used : bool;  (** suppressed at least one finding this run *)
+}
 
 type t
 
@@ -18,4 +29,14 @@ val load : string -> t
 val allows : t -> rule:string -> file:string -> bool
 (** A path entry matches the linted file either exactly or as a
     [/]-anchored suffix, so [lib/stats/table.ml] also matches
-    [/abs/prefix/lib/stats/table.ml]. *)
+    [/abs/prefix/lib/stats/table.ml]. Every matching entry is marked
+    used. *)
+
+val path_matches : entry:entry -> file:string -> bool
+(** The matching predicate of {!allows}, exposed so the driver can tell
+    whether a stale entry's path was even scanned this run. *)
+
+val entries : t -> entry list
+
+val unused : t -> entry list
+(** Entries that suppressed nothing (yet). *)

@@ -1,0 +1,26 @@
+(** Typed-AST loading for the interprocedural passes: [.cmt] artifacts
+    from [_build] (driver path) or in-process typechecking of fixture
+    source (test path). *)
+
+type unit_info = {
+  modname : string;  (** compilation-unit name, e.g. ["Sim__Wheel"] *)
+  source : string;  (** source path, used for findings *)
+  str : Typedtree.structure;
+}
+
+type result = {
+  units : unit_info list;  (** sorted by [modname] *)
+  errors : (string * string) list;  (** (cmt path, unreadable reason) *)
+}
+
+val load_dirs : string list -> result
+(** Scan each directory's [.*.objs/byte] subdirectories for [.cmt]
+    implementation artifacts, e.g. [load_dirs ["lib/sim"; "lib/net"]]
+    from the [_build/default] working directory that `dune build @lint`
+    provides. Interface-only cmts and dune's generated module-alias
+    shims ([.ml-gen]) are skipped. *)
+
+val typecheck_source : file:string -> string -> (unit_info, string) Stdlib.result
+(** Parse and typecheck [source] against the current switch's stdlib
+    (no dune, no build dir). For fixtures: keep them self-contained —
+    references to repo libraries will not resolve. *)

@@ -87,50 +87,19 @@ let immediate_constant e =
   | Pexp_constant (Pconst_integer _ | Pconst_char _) -> true
   | _ -> false
 
-(* [@lint.allow "rule-a,rule-b"]; a bare [@lint.allow] allows every rule. *)
-let allows_of_attrs attrs =
-  List.concat_map
-    (fun (a : attribute) ->
-      if a.attr_name.txt <> "lint.allow" then []
-      else
-        match a.attr_payload with
-        | PStr [] -> [ "*" ]
-        | PStr
-            [
-              {
-                pstr_desc =
-                  Pstr_eval ({ pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ }, _);
-                _;
-              };
-            ] ->
-            String.split_on_char ',' s
-            |> List.concat_map (String.split_on_char ' ')
-            |> List.filter (fun r -> r <> "")
-        | _ -> [ "*" ])
-    attrs
-
 (* ------------------------------------------------------------------ *)
 (* The walker.                                                         *)
 (* ------------------------------------------------------------------ *)
 
 type state = {
   file : string;
-  enabled : Rule.id -> bool;
-  allowlist : Allowlist.t;
-  mutable allowed : string list; (* rules suppressed by enclosing attributes *)
+  ctx : Suppress.ctx;            (* scoped emission + [@lint.allow] ledger *)
   mutable sorted : bool;         (* value flows into a List.sort *)
-  mutable findings : Finding.t list;
 }
 
 let emit st loc rule fmt =
   Printf.ksprintf
-    (fun message ->
-      let name = Rule.name rule in
-      if
-        st.enabled rule
-        && (not (List.mem name st.allowed || List.mem "*" st.allowed))
-        && not (Allowlist.allows st.allowlist ~rule:name ~file:st.file)
-      then st.findings <- Finding.make ~file:st.file ~loc ~rule:name ~message :: st.findings)
+    (fun message -> Suppress.emit st.ctx ~loc ~rule:(Rule.name rule) message)
     fmt
 
 (* The sim-local RNG wrapper is the one sanctioned home for Random. *)
@@ -147,37 +116,36 @@ let rec swallowing_pattern p =
 (* Scan a toplevel binding's RHS for mutable allocations, stopping at
    function boundaries (allocation inside a closure happens per call). *)
 let rec scan_mutable_global st e =
-  let allowed = allows_of_attrs e.pexp_attributes in
-  if not (List.mem "*" allowed || List.mem (Rule.name Rule.Mutable_global) allowed) then
-    match e.pexp_desc with
-    | Pexp_fun _ | Pexp_function _ | Pexp_lazy _ -> ()
-    | Pexp_apply (f, args) ->
-        (match ident_path f with
-        | Some path -> (
-            match mutable_allocator path with
-            | Some name ->
-                emit st e.pexp_loc Rule.Mutable_global
-                  "toplevel %s creates mutable state shared across runs and domains; \
-                   allocate it per run (e.g. inside Harness.World)"
-                  name
-            | None -> ())
-        | None -> ());
-        List.iter (fun (_, a) -> scan_mutable_global st a) args
-    | Pexp_tuple es | Pexp_array es -> List.iter (scan_mutable_global st) es
-    | Pexp_construct (_, Some e) | Pexp_variant (_, Some e) -> scan_mutable_global st e
-    | Pexp_record (fields, base) ->
-        List.iter (fun (_, e) -> scan_mutable_global st e) fields;
-        Option.iter (scan_mutable_global st) base
-    | Pexp_constraint (e, _) | Pexp_coerce (e, _, _) | Pexp_open (_, e) ->
-        scan_mutable_global st e
-    | Pexp_let (_, vbs, body) ->
-        List.iter (fun vb -> scan_mutable_global st vb.pvb_expr) vbs;
-        scan_mutable_global st body
-    | Pexp_sequence (a, b) -> List.iter (scan_mutable_global st) [ a; b ]
-    | Pexp_ifthenelse (_, a, b) ->
-        scan_mutable_global st a;
-        Option.iter (scan_mutable_global st) b
-    | _ -> ()
+  Suppress.with_attrs st.ctx e.pexp_attributes @@ fun () ->
+  match e.pexp_desc with
+  | Pexp_fun _ | Pexp_function _ | Pexp_lazy _ -> ()
+  | Pexp_apply (f, args) ->
+      (match ident_path f with
+      | Some path -> (
+          match mutable_allocator path with
+          | Some name ->
+              emit st e.pexp_loc Rule.Mutable_global
+                "toplevel %s creates mutable state shared across runs and domains; \
+                 allocate it per run (e.g. inside Harness.World)"
+                name
+          | None -> ())
+      | None -> ());
+      List.iter (fun (_, a) -> scan_mutable_global st a) args
+  | Pexp_tuple es | Pexp_array es -> List.iter (scan_mutable_global st) es
+  | Pexp_construct (_, Some e) | Pexp_variant (_, Some e) -> scan_mutable_global st e
+  | Pexp_record (fields, base) ->
+      List.iter (fun (_, e) -> scan_mutable_global st e) fields;
+      Option.iter (scan_mutable_global st) base
+  | Pexp_constraint (e, _) | Pexp_coerce (e, _, _) | Pexp_open (_, e) ->
+      scan_mutable_global st e
+  | Pexp_let (_, vbs, body) ->
+      List.iter (fun vb -> scan_mutable_global st vb.pvb_expr) vbs;
+      scan_mutable_global st body
+  | Pexp_sequence (a, b) -> List.iter (scan_mutable_global st) [ a; b ]
+  | Pexp_ifthenelse (_, a, b) ->
+      scan_mutable_global st a;
+      Option.iter (scan_mutable_global st) b
+  | _ -> ()
 
 let check_ident st loc path =
   (match ambient_effect path with
@@ -198,8 +166,8 @@ let check_ident st loc path =
 let iterator st =
   let open Ast_iterator in
   let expr it e =
-    let saved_allowed = st.allowed and saved_sorted = st.sorted in
-    st.allowed <- allows_of_attrs e.pexp_attributes @ st.allowed;
+    Suppress.with_attrs st.ctx e.pexp_attributes @@ fun () ->
+    let saved_sorted = st.sorted in
     (* Per-node checks. *)
     (match e.pexp_desc with
     | Pexp_ident { txt; _ } -> check_ident st e.pexp_loc (flatten txt)
@@ -255,24 +223,19 @@ let iterator st =
         st.sorted <- true;
         List.iter (fun (_, a) -> it.expr it a) args
     | _ -> default_iterator.expr it e);
-    st.allowed <- saved_allowed;
     st.sorted <- saved_sorted
   in
   let value_binding it vb =
-    let saved = st.allowed in
-    st.allowed <- allows_of_attrs vb.pvb_attributes @ st.allowed;
-    default_iterator.value_binding it vb;
-    st.allowed <- saved
+    Suppress.with_attrs st.ctx vb.pvb_attributes @@ fun () ->
+    default_iterator.value_binding it vb
   in
   let structure_item it si =
     (match si.pstr_desc with
     | Pstr_value (_, vbs) ->
         List.iter
           (fun vb ->
-            let saved = st.allowed in
-            st.allowed <- allows_of_attrs vb.pvb_attributes @ st.allowed;
-            scan_mutable_global st vb.pvb_expr;
-            st.allowed <- saved)
+            Suppress.with_attrs st.ctx vb.pvb_attributes @@ fun () ->
+            scan_mutable_global st vb.pvb_expr)
           vbs
     | _ -> ());
     default_iterator.structure_item it si
@@ -283,32 +246,28 @@ let iterator st =
 (* Entry points.                                                       *)
 (* ------------------------------------------------------------------ *)
 
-let lint_structure ?(rules = Rule.all) ?(allowlist = Allowlist.empty) ~file structure =
-  let st =
-    {
-      file;
-      enabled = (fun r -> List.mem r rules);
-      allowlist;
-      allowed = [];
-      sorted = false;
-      findings = [];
-    }
-  in
+let lint_structure ?(rules = Rule.syntactic) ?(allowlist = Allowlist.empty) ?registry
+    ~file structure =
+  let rules = List.filter (fun r -> List.mem r Rule.syntactic) rules in
+  Option.iter (fun t -> Suppress.note_checked t (List.map Rule.name rules)) registry;
+  let enabled name = List.exists (fun r -> Rule.name r = name) rules in
+  let ctx = Suppress.make_ctx ?registry ~enabled ~allowlist ~file () in
+  let st = { file; ctx; sorted = false } in
   let it = iterator st in
   it.structure it structure;
-  List.sort Finding.compare st.findings
+  Suppress.findings ctx
 
 let parse_lexbuf ~file lexbuf =
   Location.init lexbuf file;
   Parse.implementation lexbuf
 
-let lint_source ?rules ?allowlist ~file source =
+let lint_source ?rules ?allowlist ?registry ~file source =
   match parse_lexbuf ~file (Lexing.from_string source) with
   | structure ->
-      { findings = lint_structure ?rules ?allowlist ~file structure; errors = [] }
+      { findings = lint_structure ?rules ?allowlist ?registry ~file structure; errors = [] }
   | exception exn -> { findings = []; errors = [ (file, Printexc.to_string exn) ] }
 
-let lint_file ?rules ?allowlist file =
+let lint_file ?rules ?allowlist ?registry file =
   match
     let ic = open_in_bin file in
     Fun.protect
@@ -316,8 +275,8 @@ let lint_file ?rules ?allowlist file =
       (fun () -> parse_lexbuf ~file (Lexing.from_channel ic))
   with
   | structure ->
-      { findings = lint_structure ?rules ?allowlist ~file structure; errors = [] }
+      { findings = lint_structure ?rules ?allowlist ?registry ~file structure; errors = [] }
   | exception exn -> { findings = []; errors = [ (file, Printexc.to_string exn) ] }
 
-let lint_files ?rules ?allowlist files =
-  List.fold_left (fun acc f -> merge acc (lint_file ?rules ?allowlist f)) no_report files
+let lint_files ?rules ?allowlist ?registry files =
+  List.fold_left (fun acc f -> merge acc (lint_file ?rules ?allowlist ?registry f)) no_report files

@@ -1,5 +1,8 @@
-(** The analysis pass: parse an [.ml] with compiler-libs, walk the
-    Parsetree with [Ast_iterator], apply the {!Rule} set.
+(** The syntactic pass: parse an [.ml] with compiler-libs, walk the
+    Parsetree with [Ast_iterator], apply the syntactic {!Rule} subset.
+    (The typed rules — domain-escape, hot-path-alloc, transitive
+    effects — live in {!Escape}, {!Hotpath} and {!Effects}, driven over
+    [.cmt] artifacts by [bin/lint.exe --typed].)
 
     Heuristics (the pass is syntactic — no type information):
     - {b nondet-iteration} recognises a fold piped straight into
@@ -13,21 +16,46 @@
 
     Site suppression: attach [[@lint.allow "rule-id"]] to the offending
     expression or [[@@lint.allow "rule-id"]] to its binding; several ids
-    may be comma-separated, and a bare [[@lint.allow]] allows all rules. *)
+    may be comma-separated, and a bare [[@lint.allow]] allows all rules.
+    Pass a [registry] to record every suppression site and which ones
+    fired, for [unused-allow] hygiene reporting. *)
 
 type report = {
   findings : Finding.t list;  (** sorted by {!Finding.compare} per file *)
   errors : (string * string) list;  (** (file, unreadable / syntax error) *)
 }
 
-val lint_file : ?rules:Rule.id list -> ?allowlist:Allowlist.t -> string -> report
-(** Lint one file. [rules] defaults to {!Rule.all}. A file that cannot be
-    read or parsed yields an entry in [errors], never an exception. *)
+val lint_file :
+  ?rules:Rule.id list -> ?allowlist:Allowlist.t -> ?registry:Suppress.t -> string -> report
+(** Lint one file. [rules] defaults to {!Rule.syntactic} (non-syntactic
+    ids in the list are ignored). A file that cannot be read or parsed
+    yields an entry in [errors], never an exception. *)
 
-val lint_files : ?rules:Rule.id list -> ?allowlist:Allowlist.t -> string list -> report
+val lint_files :
+  ?rules:Rule.id list ->
+  ?allowlist:Allowlist.t ->
+  ?registry:Suppress.t ->
+  string list ->
+  report
 (** Lint files in order; findings concatenate in input order. *)
 
 val lint_source :
-  ?rules:Rule.id list -> ?allowlist:Allowlist.t -> file:string -> string -> report
+  ?rules:Rule.id list ->
+  ?allowlist:Allowlist.t ->
+  ?registry:Suppress.t ->
+  file:string ->
+  string ->
+  report
 (** Lint source text directly (for tests); [file] is used for locations
     and allowlist matching. *)
+
+(** {2 Classifiers shared with the typed passes}
+
+    Both passes must agree on what counts as an ambient effect or
+    library IO; {!Effects} reuses these over normalized typed paths. *)
+
+val ambient_effect : string list -> string option
+val io_effect : string list -> string option
+
+val random_exempt : string -> bool
+(** [sim/rng.ml], the sanctioned [Random] wrapper. *)

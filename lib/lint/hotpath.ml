@@ -1,0 +1,85 @@
+(* The hot-path allocation guard.
+
+   Functions annotated [@lint.hot] are the measured per-event paths of
+   the simulator (Net.Link_stats.record_send, Sim.Wheel insert/cascade,
+   the Sim.Engine fire loop, Cgraph.Graph.dir_index_opt): one call per
+   simulated event at 10^5-10^6 scale, where a single allocation per
+   call turns into GC pressure that dominates the profile. This pass is
+   the static side of the BENCH_scale.json allocation gate: it flags
+   every syntactically evident heap allocation in a hot body.
+
+   Flagged: closure literals, tuples, records, array literals,
+   argument-carrying constructors (including list cons) and polymorphic
+   variants, lazy thunks, and calls to known allocating stdlib
+   functions (ref, Array.make, Printf.sprintf, (@), (^), ...).
+
+   Not seen (documented honesty): float boxing, closure allocation from
+   partial application, and allocations inside callees — annotate the
+   callee [@lint.hot] too if it is on the path. A deliberate allocation
+   (e.g. the cons onto a watched-link history) is justified in place
+   with [@lint.allow "hot-path-alloc"] and a comment. *)
+
+open Typedtree
+
+let rule_name = Rule.name Rule.Hot_path_alloc
+
+let is_hot (attrs : attributes) =
+  List.exists (fun (a : Parsetree.attribute) -> a.attr_name.txt = "lint.hot") attrs
+
+let scan_def ctx (d : Callgraph.def) =
+  let emit ~loc what =
+    Suppress.emit ctx ~loc ~rule:rule_name
+      (Printf.sprintf
+         "%s allocates in [@lint.hot] %s: one heap block per call on a per-event path; \
+          hoist it, restructure, or justify with [@lint.allow \"hot-path-alloc\"]"
+         what d.name)
+  in
+  let expr it e =
+    Suppress.with_attrs ctx e.exp_attributes @@ fun () ->
+    (match e.exp_desc with
+    | Texp_function _ -> emit ~loc:e.exp_loc "closure literal"
+    | Texp_tuple _ -> emit ~loc:e.exp_loc "tuple construction"
+    | Texp_record _ -> emit ~loc:e.exp_loc "record construction"
+    | Texp_array _ -> emit ~loc:e.exp_loc "array literal"
+    | Texp_construct (lid, _, _ :: _) ->
+        let name = String.concat "." (Longident.flatten lid.txt) in
+        emit ~loc:e.exp_loc
+          (if name = "::" then "list cons (::)" else "constructor " ^ name)
+    | Texp_variant (label, Some _) -> emit ~loc:e.exp_loc ("polymorphic variant `" ^ label)
+    | Texp_lazy _ -> emit ~loc:e.exp_loc "lazy thunk"
+    | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, _) -> (
+        match Callgraph.allocating_fn (Callgraph.normalize_path p) with
+        | Some f -> emit ~loc:e.exp_loc ("call to allocating " ^ f)
+        | None -> ())
+    | _ -> ());
+    (* Descend everywhere, including into flagged nodes: a tuple of
+       closures is two findings, not one. *)
+    match e.exp_desc with
+    | Texp_function _ ->
+        (* the body of a nested closure still runs on the hot path only
+           if called; the closure allocation itself was flagged above,
+           and its body is typically the cold continuation — skip it. *)
+        ()
+    | _ -> Tast_iterator.default_iterator.expr it e
+  in
+  let it = { Tast_iterator.default_iterator with expr } in
+  Suppress.with_attrs ctx d.attrs @@ fun () -> it.expr it d.body
+
+let run ?registry ?(allowlist = Allowlist.empty) (graph : Callgraph.t) =
+  Option.iter (fun t -> Suppress.note_checked t [ rule_name ]) registry;
+  let ctxs = Hashtbl.create 8 in
+  let ctx_for file =
+    match Hashtbl.find_opt ctxs file with
+    | Some c -> c
+    | None ->
+        let c =
+          Suppress.make_ctx ?registry ~enabled:(fun _ -> true) ~allowlist ~file ()
+        in
+        Hashtbl.add ctxs file c;
+        c
+  in
+  List.iter
+    (fun (d : Callgraph.def) -> if is_hot d.attrs then scan_def (ctx_for d.source) d)
+    graph.defs;
+  Hashtbl.fold (fun _ c acc -> Suppress.findings c @ acc) ctxs []
+  |> List.sort_uniq Finding.compare

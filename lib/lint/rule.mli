@@ -7,8 +7,24 @@ type id =
   | Physical_equality  (** == / != on non-int operands *)
   | Mutable_global     (** toplevel mutable state shared across domains *)
   | Exception_swallow  (** [with _ ->] handlers *)
+  | Domain_escape      (** mutable capture racing across an Exec.Pool batch *)
+  | Hot_path_alloc     (** allocation inside a [[@lint.hot]] function *)
+  | Stale_allowlist    (** lint.allow entry that suppressed nothing *)
+  | Unused_allow       (** [[@lint.allow]] attribute that suppressed nothing *)
 
 val all : id list
+
+val syntactic : id list
+(** Rules the Parsetree walker ({!Engine}) checks; the historical set. *)
+
+val typed_only : id list
+(** Rules that exist only in the typed (.cmt) passes. The typed effect
+    pass additionally re-emits {!Ambient_effects} / {!Io_in_library} /
+    {!Mutable_global} for transitive violations. *)
+
+val meta : id list
+(** Hygiene rules emitted by the driver over the suppression ledger. *)
+
 val name : id -> string
 val of_name : string -> id option
 

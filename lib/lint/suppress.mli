@@ -1,0 +1,70 @@
+(** The suppression ledger shared by the syntactic and typed passes.
+
+    Registers every [[@lint.allow]] site the walkers encounter and
+    records which ones actually silenced a finding, so the driver can
+    flag suppressions that outlived the code they excused. Also hosts
+    the scoped-emission context ({!ctx}) every pass reports through:
+    emitting via {!emit} gives a pass attribute scoping, allowlist
+    matching and use-tracking for free. *)
+
+type site = {
+  file : string;
+  line : int;  (** 1-based, of the attribute *)
+  col : int;
+  rules : string list;  (** rule names; [["*"]] = every rule *)
+  mutable used : bool;  (** silenced at least one would-be finding *)
+}
+
+type t
+
+val create : unit -> t
+
+val note_checked : t -> string list -> unit
+(** Record that a pass checked these rules this run. {!unused} only
+    reports a site when every rule it names was checked — an attribute
+    for a typed rule is not stale just because only the syntactic pass
+    ran. *)
+
+val checked_rules : t -> string list
+(** Rule names some pass has reported checking this run. *)
+
+val register : t -> file:string -> loc:Location.t -> rules:string list -> site
+(** Idempotent per (file, line, col): both passes may register the same
+    attribute; they share one [used] flag. *)
+
+val mark_used : site -> unit
+
+val unused : t -> catalogue:string list -> site list
+(** Sites that silenced nothing, restricted to those fully checked this
+    run ([catalogue] is the expansion of a bare [[@lint.allow]]).
+    Sorted by file, line, col. *)
+
+val rules_of_attr : Parsetree.attribute -> string list option
+(** [None] if the attribute is not [lint.allow]; [Some ["*"]] for a bare
+    or malformed payload. *)
+
+val allows_of_attrs : Parsetree.attributes -> string list
+(** Rule names allowed by the [lint.allow] attributes in the list. *)
+
+(** {2 Scoped emission} *)
+
+type ctx
+
+val make_ctx :
+  ?registry:t ->
+  enabled:(string -> bool) ->
+  allowlist:Allowlist.t ->
+  file:string ->
+  unit ->
+  ctx
+
+val with_attrs : ctx -> Parsetree.attributes -> (unit -> unit) -> unit
+(** Push the [lint.allow] entries of [attrs] for the duration of the
+    callback (registering their sites), restoring the scope after. *)
+
+val emit : ctx -> loc:Location.t -> rule:string -> string -> unit
+(** Record a finding unless a scope entry or allowlist entry suppresses
+    it; suppressors are marked used. *)
+
+val findings : ctx -> Finding.t list
+(** Accumulated findings, sorted by {!Finding.compare}. *)

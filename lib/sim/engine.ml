@@ -106,29 +106,33 @@ let cancel t id =
           Obs.Recorder.cancel t.recorder ~time:t.clock ~id:(id_of_state ev.state)
       end
 
-let run t ~until =
-  let continue = ref true in
-  while !continue do
-    match q_peek_prio t with
-    | None -> continue := false
-    | Some at when at > until -> continue := false
-    | Some _ -> (
-        match q_pop t with
-        | None -> continue := false
-        | Some (at, ev) ->
-            let st = ev.state in
-            ev.state <- st lor fired_bit;
-            if st land cancelled_bit = 0 then begin
-              t.clock <- at;
-              t.processed <- t.processed + 1;
-              if !(t.tracing) then Obs.Recorder.fire t.recorder ~time:at ~id:(id_of_state st);
-              let action = ev.action in
-              (* Release the closure before running it: the caller may
-                 hold the event_id long after the event fires. *)
-              ev.action <- noop;
-              action ()
-            end)
-  done
+(* The fire loop is a toplevel tail recursion rather than a [ref]-driven
+   while: it runs once per event over the whole simulation, and keeping
+   it allocation-free means the only heap traffic per fired event is
+   whatever the action itself does (plus the queue's own pop result). *)
+let[@lint.hot] rec fire_loop t ~until =
+  match q_peek_prio t with
+  | None -> ()
+  | Some at when at > until -> ()
+  | Some _ -> (
+      match q_pop t with
+      | None -> ()
+      | Some (at, ev) ->
+          let st = ev.state in
+          ev.state <- st lor fired_bit;
+          if st land cancelled_bit = 0 then begin
+            t.clock <- at;
+            t.processed <- t.processed + 1;
+            if !(t.tracing) then Obs.Recorder.fire t.recorder ~time:at ~id:(id_of_state st);
+            let action = ev.action in
+            (* Release the closure before running it: the caller may
+               hold the event_id long after the event fires. *)
+            ev.action <- noop;
+            action ()
+          end;
+          fire_loop t ~until)
+
+let run t ~until = fire_loop t ~until
 
 let run_all t = run t ~until:Time.infinity
 let pending t = q_size t

@@ -120,12 +120,23 @@ let level_of x =
   let rec go l x = if x < slots_per_level then l else go (l + 1) (x lsr slot_bits) in
   go 0 x
 
-let wheel_insert t e =
+let[@lint.hot] wheel_insert t e =
   let l = level_of (e.prio lxor t.floor) in
   let s = (e.prio lsr (l * slot_bits)) land slot_mask in
   let idx = (l lsl slot_bits) lor s in
   (match t.slots.(idx) with [] -> set_bit t l s | _ -> ());
-  t.slots.(idx) <- e :: t.slots.(idx)
+  (* Slots are intrusive-free lists by design: one cons per insert is
+     the structure's storage, not incidental garbage. *)
+  t.slots.(idx) <- (e :: t.slots.(idx) [@lint.allow "hot-path-alloc"])
+
+(* Cascade re-inserts a drained slot's entries; a toplevel recursion
+   instead of List.iter keeps the cascade path closure-free. *)
+let[@lint.hot] rec reinsert t es =
+  match es with
+  | [] -> ()
+  | e :: tl ->
+      wheel_insert t e;
+      reinsert t tl
 
 let buf_active t = t.buf_head < t.buf_len
 
@@ -195,7 +206,7 @@ let drain_slot t s =
    progress. Raising the floor here is safe because everything still
    queued is at or beyond the window start, and the floor is observed
    externally only after [pop] restores it to a fired tick. *)
-let cascade t l s =
+let[@lint.hot] cascade t l s =
   let idx = (l lsl slot_bits) lor s in
   let entries = t.slots.(idx) in
   t.slots.(idx) <- [];
@@ -205,7 +216,7 @@ let cascade t l s =
     else t.floor land lnot ((1 lsl ((l + 1) * slot_bits)) - 1)
   in
   t.floor <- above lor (s lsl (l * slot_bits));
-  List.iter (fun e -> wheel_insert t e) entries
+  reinsert t entries
 
 (* Find the frontier slot: levels are scanned lowest first because a
    level-l entry shares all bytes above l with the floor, so anything at

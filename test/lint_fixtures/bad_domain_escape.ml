@@ -1,0 +1,25 @@
+(* Positive fixtures for the domain-escape detector: the local Pool
+   stub stands in for Exec.Pool — sink matching is by path suffix. *)
+module Pool = struct
+  let run_batch (n : int) (body : int -> unit) =
+    for i = 0 to n - 1 do body i done
+end
+
+(* Two forwarding hops between the submitter and the sink. *)
+let tier2 n body = Pool.run_batch n body
+let tier1 n body = tier2 n body
+
+let direct_ref n =
+  let total = ref 0 in
+  Pool.run_batch n (fun i -> total := !total + i);
+  !total
+
+let through_two_hops n =
+  let total = ref 0 in
+  tier1 n (fun i -> total := !total + i);
+  !total
+
+let shared_table n =
+  let seen = Hashtbl.create 16 in
+  Pool.run_batch n (fun i -> Hashtbl.replace seen i true);
+  Hashtbl.length seen

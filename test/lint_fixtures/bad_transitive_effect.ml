@@ -1,0 +1,12 @@
+(* Positives for transitive effect inference: each flagged binding is
+   itself clean but reaches a violation through a helper chain. *)
+let clock_leaf () = Unix.gettimeofday ()
+let clock_mid x = clock_leaf () +. float_of_int x
+let clock_top xs = List.map (fun x -> clock_mid x) xs
+
+let io_leaf msg = print_endline msg
+let io_top msg = io_leaf (msg ^ "!")
+
+let counter = ref 0
+let bump () = counter := !counter + 1
+let bump_top () = bump ()

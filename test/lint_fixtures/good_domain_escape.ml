@@ -1,0 +1,28 @@
+(* Negative fixtures: every capture here is provably race-free, so the
+   domain-escape detector must stay silent. *)
+module Pool = struct
+  let run_batch (n : int) (body : int -> unit) =
+    for i = 0 to n - 1 do body i done
+end
+
+let tier2 n body = Pool.run_batch n body
+let tier1 n body = tier2 n body
+
+(* Shard-local: the array is written only at the task's own index, so
+   the domains' write sets are disjoint. *)
+let shard_local n =
+  let out = Array.make n 0 in
+  tier1 n (fun i -> out.(i) <- i * i);
+  out
+
+(* Fresh per task: nothing mutable is captured at all. *)
+let fresh_buffer n =
+  Pool.run_batch n (fun i ->
+      let b = Buffer.create 8 in
+      Buffer.add_string b (string_of_int i);
+      ignore (Buffer.length b))
+
+(* Read-only: the submitter blocks for the batch; concurrent reads of
+   a frozen array cannot race. *)
+let read_only n (weights : int array) =
+  Pool.run_batch n (fun i -> ignore (weights.(i) + i))

@@ -1,0 +1,10 @@
+(* Negatives: allocation-free tail recursion and int arithmetic stay
+   silent; a deliberate cons is justified in place. *)
+let rec sum_from arr acc i =
+  if i >= Array.length arr then acc else sum_from arr (acc + arr.(i)) (i + 1)
+
+let[@lint.hot] sum arr = sum_from arr 0 0
+
+let[@lint.hot] clamp lo hi x = if x < lo then lo else if x > hi then hi else x
+
+let[@lint.hot] push x l = (x :: l) [@lint.allow "hot-path-alloc"]
