@@ -35,10 +35,15 @@ type t = {
   flags : Bytes.t; (* slot -> pinged/ack/deferred/fork/token bits *)
   granted : int array; (* slot -> doorway acks granted this session *)
   eats : int array;
-  (* In-flight / absorbed message accounting per (directed slot, kind),
-     used only by the executable-lemma checks. *)
-  fly : int array; (* slot * 4 + kind_index *)
-  absorbed : int array;
+  (* Message accounting per (directed slot, kind), used only by the
+     executable-lemma checks. Send counts index the sender's slot and
+     receive/absorb counts the receiver's reverse slot, so every write
+     lands in the writing process's own CSR row (single-writer under
+     sharded stepping); the in-flight count is the difference, taken at
+     check time. *)
+  fly_out : int array; (* sends, at slot (src, dst) * 4 + kind_index *)
+  fly_in : int array; (* receipts, at slot (dst, src) * 4 + kind_index *)
+  absorbed_in : int array; (* crash absorptions, at slot (dst, src) * 4 + kind_index *)
   mutable net : message Net.Network.t option; (* set once in create *)
   mutable listeners : (pid -> phase -> unit) list;
   trace : Sim.Trace.t;
@@ -63,7 +68,7 @@ let emit t i tag detail = Sim.Trace.emit t.trace ~time:(now t) ~subject:i ~tag d
    in hand, either from its CSR iteration or via [rev]. *)
 let send t ~slot ~src ~dst msg =
   let w = (slot * message_kind_count) + message_kind_index msg in
-  t.fly.(w) <- t.fly.(w) + 1;
+  t.fly_out.(w) <- t.fly_out.(w) + 1;
   Net.Network.send (net t) ~src ~dst msg
 
 let notify_phase t i =
@@ -187,9 +192,9 @@ let receive_fork t i ~from:j ~k =
 
 let dispatch t ~dst ~src msg =
   let sd = Cgraph.Graph.dir_index t.graph src dst in
-  let w = (sd * message_kind_count) + message_kind_index msg in
-  t.fly.(w) <- t.fly.(w) - 1;
   let k = t.rev.(sd) in
+  let w = (k * message_kind_count) + message_kind_index msg in
+  t.fly_in.(w) <- t.fly_in.(w) + 1;
   match msg with
   | Ping -> receive_ping t dst ~from:src ~k
   | Ack -> receive_ack t dst ~from:src ~k
@@ -283,8 +288,9 @@ let create ~engine ~faults ~graph ~delay ~rng ~detector ?colors ?(trace = Sim.Tr
       flags;
       granted = Array.make slots 0;
       eats = Array.make n 0;
-      fly = Array.make (slots * message_kind_count) 0;
-      absorbed = Array.make (slots * message_kind_count) 0;
+      fly_out = Array.make (slots * message_kind_count) 0;
+      fly_in = Array.make (slots * message_kind_count) 0;
+      absorbed_in = Array.make (slots * message_kind_count) 0;
       net = None;
       listeners = [];
       trace;
@@ -296,9 +302,8 @@ let create ~engine ~faults ~graph ~delay ~rng ~detector ?colors ?(trace = Sim.Tr
       ~kind_index:message_kind_index ~kind_names:[| "ping"; "ack"; "request"; "fork" |]
       ~on_drop:(fun ~src ~dst msg ->
         let sd = Cgraph.Graph.dir_index t.graph src dst in
-        let w = (sd * message_kind_count) + message_kind_index msg in
-        t.fly.(w) <- t.fly.(w) - 1;
-        t.absorbed.(w) <- t.absorbed.(w) + 1)
+        let w = (t.rev.(sd) * message_kind_count) + message_kind_index msg in
+        t.absorbed_in.(w) <- t.absorbed_in.(w) + 1)
       ?metrics
       ~handler:(fun ~dst ~src msg -> dispatch t ~dst ~src msg)
       ()
@@ -344,8 +349,12 @@ let max_message_bits t =
 
 let check_invariants t =
   let fail fmt = Format.kasprintf (fun s -> raise (Invariant_violation s)) fmt in
-  let flying s kind = t.fly.((s * message_kind_count) + kind) in
-  let absorbed s kind = t.absorbed.((s * message_kind_count) + kind) in
+  let absorbed s kind = t.absorbed_in.((t.rev.(s) * message_kind_count) + kind) in
+  let flying s kind =
+    t.fly_out.((s * message_kind_count) + kind)
+    - t.fly_in.((t.rev.(s) * message_kind_count) + kind)
+    - absorbed s kind
+  in
   let ping_k = 0 and ack_k = 1 and request_k = 2 and fork_k = 3 in
   for i = 0 to t.n - 1 do
     if phase t i = Eating && not (inside t i) then fail "process %d eats outside the doorway" i;

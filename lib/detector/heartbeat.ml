@@ -1,58 +1,66 @@
-type cell = {
-  mutable last_hb : Sim.Time.t;
-  mutable timeout : int;
-  mutable suspected : bool;
-}
+(* Per-(observer, target) timer state lives in flat arrays indexed by
+   the graph's dense directed slots — observer's CSR row, slot for
+   target — mirroring Net.Link_stats. The per-message hot path (a
+   heartbeat arriving) is then two binary searches worth of int reads
+   and writes; the previous Hashtbl keyed on an (observer, target)
+   tuple allocated the key on every lookup. *)
 
 type t = {
   engine : Sim.Engine.t;
   faults : Net.Faults.t;
-  cells : (int * int, cell) Hashtbl.t; (* (observer, target) *)
+  graph : Cgraph.Graph.t;
+  (* Per directed slot (observer -> target). *)
+  hb_last : Sim.Time.t array; (* last heartbeat arrival (creation time if none) *)
+  hb_timeout : int array; (* current adaptive timeout *)
+  hb_suspected : Bytes.t; (* 0 / 1 *)
   mutable last_mistake : Sim.Time.t option;
   mutable mistakes : int;
   listeners : (int -> unit) list ref;
 }
 
-let cell t observer target =
-  match Hashtbl.find_opt t.cells (observer, target) with
-  | Some c -> c
-  | None -> invalid_arg "Heartbeat: not a neighbor pair"
+let[@lint.hot] slot t observer target =
+  let s = Cgraph.Graph.dir_index_opt t.graph observer target in
+  if s < 0 then invalid_arg "Heartbeat: not a neighbor pair";
+  s
+
+let suspected t s = Bytes.unsafe_get t.hb_suspected s <> '\000'
 
 let create ~engine ~faults ~graph ~delay ~rng ?(period = 20) ?(initial_timeout = 30)
     ?(bump = 25) ?metrics () =
   if period <= 0 || initial_timeout <= 0 || bump <= 0 then
     invalid_arg "Heartbeat.create: parameters must be positive";
+  let dirs = Cgraph.Graph.dir_count graph in
+  (* All first beats and checks are offset from the creation time: a
+     detector built on a pre-advanced engine (restarts, staged
+     experiments) must not schedule into the past. *)
+  let now0 = Sim.Engine.now engine in
   let t =
     {
       engine;
       faults;
-      cells = Hashtbl.create 64;
+      graph;
+      hb_last = Array.make dirs now0;
+      hb_timeout = Array.make dirs initial_timeout;
+      hb_suspected = Bytes.make dirs '\000';
       last_mistake = None;
       mistakes = 0;
       listeners = ref [];
     }
   in
   let n = Cgraph.Graph.n graph in
-  for i = 0 to n - 1 do
-    Array.iter
-      (fun j ->
-        Hashtbl.add t.cells (i, j)
-          { last_hb = Sim.Time.zero; timeout = initial_timeout; suspected = false })
-      (Cgraph.Graph.neighbors graph i)
-  done;
   (* Monitoring side: while [observer] does not suspect [target], exactly one
      check event is pending; a suspicion freezes checking until a heartbeat
      arrives and resets it. *)
   let rec schedule_check observer target at =
     ignore
-      (Sim.Engine.schedule engine ~at (fun () ->
+      (Sim.Engine.schedule engine ~owner:observer ~at (fun () ->
            if not (Net.Faults.is_crashed faults observer) then begin
-             let c = cell t observer target in
-             if not c.suspected then begin
-               let deadline = Sim.Time.add c.last_hb c.timeout in
+             let s = slot t observer target in
+             if not (suspected t s) then begin
+               let deadline = Sim.Time.add t.hb_last.(s) t.hb_timeout.(s) in
                let now = Sim.Engine.now engine in
                if now >= deadline then begin
-                 c.suspected <- true;
+                 Bytes.unsafe_set t.hb_suspected s '\001';
                  if not (Net.Faults.is_crashed faults target) then begin
                    t.mistakes <- t.mistakes + 1;
                    t.last_mistake <- Some now
@@ -65,16 +73,16 @@ let create ~engine ~faults ~graph ~delay ~rng ?(period = 20) ?(initial_timeout =
              end
            end))
   in
-  let handler ~dst ~src () =
-    let c = cell t dst src in
-    c.last_hb <- Sim.Engine.now engine;
-    if c.suspected then begin
-      c.suspected <- false;
-      c.timeout <- c.timeout + bump;
-      Obs.Recorder.suspect (Sim.Engine.recorder engine) ~time:c.last_hb ~observer:dst
+  let[@lint.hot] handler ~dst ~src () =
+    let s = slot t dst src in
+    t.hb_last.(s) <- Sim.Engine.now engine;
+    if suspected t s then begin
+      Bytes.unsafe_set t.hb_suspected s '\000';
+      t.hb_timeout.(s) <- t.hb_timeout.(s) + bump;
+      Obs.Recorder.suspect (Sim.Engine.recorder engine) ~time:t.hb_last.(s) ~observer:dst
         ~target:src ~on:false;
       Detector.notify t.listeners dst;
-      schedule_check dst src (Sim.Time.add c.last_hb c.timeout)
+      schedule_check dst src (Sim.Time.add t.hb_last.(s) t.hb_timeout.(s))
     end
   in
   let net =
@@ -88,16 +96,18 @@ let create ~engine ~faults ~graph ~delay ~rng ?(period = 20) ?(initial_timeout =
     let rec beat () =
       if not (Net.Faults.is_crashed faults i) then begin
         Array.iter (fun j -> Net.Network.send net ~src:i ~dst:j ()) (Cgraph.Graph.neighbors graph i);
-        ignore (Sim.Engine.schedule_after engine ~delay:period beat)
+        ignore (Sim.Engine.schedule_after engine ~owner:i ~delay:period beat)
       end
     in
-    ignore (Sim.Engine.schedule engine ~at:(Sim.Rng.int rng period) beat);
-    Array.iter (fun j -> schedule_check i j initial_timeout) (Cgraph.Graph.neighbors graph i)
+    ignore (Sim.Engine.schedule_after engine ~owner:i ~delay:(Sim.Rng.int rng period) beat);
+    Array.iter
+      (fun j -> schedule_check i j (Sim.Time.add now0 initial_timeout))
+      (Cgraph.Graph.neighbors graph i)
   done;
   let detector =
     {
       Detector.name = "heartbeat-evp";
-      suspects = (fun ~observer ~target -> (cell t observer target).suspected);
+      suspects = (fun ~observer ~target -> suspected t (slot t observer target));
       subscribe = (fun f -> t.listeners := f :: !(t.listeners));
     }
   in
@@ -105,4 +115,4 @@ let create ~engine ~faults ~graph ~delay ~rng ?(period = 20) ?(initial_timeout =
 
 let last_mistake t = t.last_mistake
 let mistakes t = t.mistakes
-let timeout t ~observer ~target = (cell t observer target).timeout
+let timeout t ~observer ~target = t.hb_timeout.(slot t observer target)

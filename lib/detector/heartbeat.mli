@@ -30,10 +30,11 @@ val create :
   ?metrics:Obs.Metrics.t ->
   unit ->
   t * Detector.t
-(** Defaults: [period = 20], [initial_timeout = 30], [bump = 25]. Must be
-    created at virtual time 0. [metrics] is forwarded to the heartbeat
-    overlay's link statistics (heartbeat and dining overlays sharing a
-    registry aggregate into the same [net.*] counters). *)
+(** Defaults: [period = 20], [initial_timeout = 30], [bump = 25]. May be
+    created at any virtual time: first beats and timeout checks are
+    offset from [Engine.now] at creation. [metrics] is forwarded to the
+    heartbeat overlay's link statistics (heartbeat and dining overlays
+    sharing a registry aggregate into the same [net.*] counters). *)
 
 val last_mistake : t -> Sim.Time.t option
 (** Start time of the most recent false suspicion (target had not crashed

@@ -46,14 +46,14 @@ let create engine faults graph ?(detection_delay = 50) ?(false_positives = []) (
   List.iter
     (fun fp ->
       let key = (fp.observer, fp.target) in
-      ignore (Sim.Engine.schedule engine ~at:fp.from_t (fun () -> bump key 1));
-      ignore (Sim.Engine.schedule engine ~at:fp.till_t (fun () -> bump key (-1))))
+      ignore (Sim.Engine.schedule engine ~owner:fp.observer ~at:fp.from_t (fun () -> bump key 1));
+      ignore (Sim.Engine.schedule engine ~owner:fp.observer ~at:fp.till_t (fun () -> bump key (-1))))
     false_positives;
   Net.Faults.on_crash faults (fun crashed ->
       Array.iter
         (fun neighbor ->
           ignore
-            (Sim.Engine.schedule_after engine ~delay:detection_delay (fun () ->
+            (Sim.Engine.schedule_after engine ~owner:neighbor ~delay:detection_delay (fun () ->
                  if not (Net.Faults.is_crashed faults neighbor) then begin
                    let key = (neighbor, crashed) in
                    if not (Hashtbl.mem t.permanent key) then begin

@@ -25,11 +25,11 @@ let create engine faults graph rng ?(detection_delay = 50) ?(period = 2_000) ?(d
           let rec wave start =
             if start <= horizon then begin
               ignore
-                (Sim.Engine.schedule engine ~at:start (fun () ->
+                (Sim.Engine.schedule engine ~owner:observer ~at:start (fun () ->
                      if not (Net.Faults.is_crashed faults observer) then
                        set (observer, target) true));
               ignore
-                (Sim.Engine.schedule engine
+                (Sim.Engine.schedule engine ~owner:observer
                    ~at:(Sim.Time.add start duration)
                    (fun () -> set (observer, target) false));
               wave (Sim.Time.add start period)
@@ -42,7 +42,7 @@ let create engine faults graph rng ?(detection_delay = 50) ?(period = 2_000) ?(d
       Array.iter
         (fun neighbor ->
           ignore
-            (Sim.Engine.schedule_after engine ~delay:detection_delay (fun () ->
+            (Sim.Engine.schedule_after engine ~owner:neighbor ~delay:detection_delay (fun () ->
                  if not (Net.Faults.is_crashed faults neighbor) then begin
                    let key = (neighbor, crashed) in
                    if not (Hashtbl.mem permanent key) then begin

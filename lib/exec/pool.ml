@@ -13,6 +13,7 @@ type t = {
   finished : Condition.t; (* submitter: a batch fully drained *)
   mutable current : batch option;
   mutable generation : int; (* bumped per submitted batch *)
+  mutable busy : bool; (* a batch is in flight; guards current/generation *)
   mutable shutting_down : bool;
   mutable workers : unit Domain.t array;
 }
@@ -69,6 +70,7 @@ let create ?domains () =
       finished = Condition.create ();
       current = None;
       generation = 0;
+      busy = false;
       shutting_down = false;
       workers = [||];
     }
@@ -99,18 +101,39 @@ let reraise_lowest failures =
       in
       raise e
 
+(* A second submission while a batch is in flight — nested from inside a
+   task, or concurrent from another domain — would silently overwrite
+   [t.current]: workers still draining the first batch would claim
+   indices of the second, and the first submitter would wait on a
+   [completed] count that can no longer reach [n]. Detect and refuse
+   instead of hanging. A nested call raises inside its task, is captured
+   like any task failure, and resurfaces once the outer batch drains. *)
+let enter_batch t =
+  Mutex.lock t.mutex;
+  if t.busy then begin
+    Mutex.unlock t.mutex;
+    invalid_arg "Pool.run_batch: pool is already running a batch (nested or concurrent submission)"
+  end;
+  t.busy <- true
+
 let run_batch t n body =
   if n > 0 then begin
     let failures = Atomic.make [] in
-    if t.size <= 1 then
+    if t.size <= 1 then begin
+      enter_batch t;
+      Mutex.unlock t.mutex;
       (* Same contract as the parallel path: every index runs even after a
          failure, then the lowest-index exception is re-raised. *)
       for i = 0 to n - 1 do
         try body i with e -> push_failure failures i e
-      done
+      done;
+      Mutex.lock t.mutex;
+      t.busy <- false;
+      Mutex.unlock t.mutex
+    end
     else begin
       let batch = { body; n; next = Atomic.make 0; completed = Atomic.make 0; failures } in
-      Mutex.lock t.mutex;
+      enter_batch t;
       t.current <- Some batch;
       t.generation <- t.generation + 1;
       Condition.broadcast t.posted;
@@ -122,6 +145,7 @@ let run_batch t n body =
         Condition.wait t.finished t.mutex
       done;
       t.current <- None;
+      t.busy <- false;
       Mutex.unlock t.mutex
     end;
     reraise_lowest failures
@@ -144,3 +168,16 @@ let init t n f =
 
 let map_array t f a = init t (Array.length a) (fun i -> f a.(i))
 let map_list t f l = Array.to_list (map_array t f (Array.of_list l))
+
+(* Deterministic k-way merge of per-shard effect buffers: the building
+   block for sharded stepping (Sim.Engine, Net.Link_stats). Each buffer
+   holds one shard's effects in that shard's program order; [rank] gives
+   the canonical global position of the effect's origin (for engine
+   steps: the pop rank of the firing event). Because every effect of one
+   origin lives in exactly one buffer, a stable sort by rank of the
+   shard-order concatenation reconstructs the one canonical sequence —
+   independent of how many shards there were or which domain ran them. *)
+let merge_by ~rank buffers =
+  let out = Array.concat (Array.to_list buffers) in
+  Array.stable_sort (fun a b -> compare (rank a) (rank b)) out;
+  out

@@ -14,8 +14,12 @@
     [Domain.recommended_domain_count () = 1].
 
     Batches must be submitted from one domain at a time (the harness
-    submits from the main domain); nesting a pool inside another pool's
-    task is not supported. *)
+    submits from the main domain); nesting a batch inside one of the
+    same pool's tasks, or submitting concurrently from two domains, is
+    detected and rejected with [Invalid_argument] — two live batches on
+    one pool would race on the work queue and hang the first submitter.
+    Nesting across {e distinct} pools (a world's sharded engine firing
+    inside a {!Harness.Batch} task) is fine. *)
 
 type t
 
@@ -42,7 +46,11 @@ val run_batch : t -> int -> (int -> unit) -> unit
     for effect and returns once all [n] indices have finished. A raising
     body does not wedge the batch: every index still runs, and after the
     batch drains the exception of the lowest-index failing task is
-    re-raised (matching {!init}). *)
+    re-raised (matching {!init}). This is also the barrier primitive of
+    sharded stepping: one task per shard, and the call returning means
+    every shard's effects are visible to the submitting domain.
+    @raise Invalid_argument if the pool is already running a batch
+    (nested or concurrent submission). *)
 
 val init : t -> int -> (int -> 'a) -> 'a array
 (** [init pool n f] evaluates [f 0 .. f (n - 1)] across the pool and
@@ -55,3 +63,12 @@ val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
 
 val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
 (** Order-preserving parallel [List.map]. *)
+
+val merge_by : rank:('a -> int) -> 'a array array -> 'a array
+(** [merge_by ~rank buffers] deterministically merges per-shard effect
+    buffers back into one canonical sequence: concatenate in shard
+    order, then stable-sort by [rank]. Provided all effects with equal
+    rank live in a single buffer (true when rank identifies the firing
+    event and each event runs on exactly one shard), the result is
+    independent of the shard count and of which domain filled which
+    buffer — the merge half of the sharded-step barrier/merge pair. *)

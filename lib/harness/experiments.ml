@@ -728,11 +728,11 @@ let e11_run ~m ~horizon =
       match phase with
       | Dining.Types.Eating ->
           ignore
-            (Sim.Engine.schedule_after engine ~delay:eat_for.(pid) (fun () ->
+            (Sim.Engine.schedule_after engine ~owner:pid ~delay:eat_for.(pid) (fun () ->
                  inst.stop_eating pid))
       | Dining.Types.Thinking ->
           ignore
-            (Sim.Engine.schedule_after engine ~delay:rest_for.(pid) (fun () ->
+            (Sim.Engine.schedule_after engine ~owner:pid ~delay:rest_for.(pid) (fun () ->
                  inst.become_hungry pid))
       | Dining.Types.Hungry -> ());
   List.iter inst.become_hungry [ 2; 0; 1 ];

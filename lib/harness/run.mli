@@ -39,6 +39,7 @@ val run :
   ?backend:Sim.Engine.backend ->
   ?trace:Sim.Trace.t ->
   ?metrics:Obs.Metrics.t ->
+  ?shards:int ->
   Scenario.t ->
   report
 (** Execute the scenario to its horizon. Deterministic in the scenario

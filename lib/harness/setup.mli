@@ -21,6 +21,7 @@ val build :
   ?backend:Sim.Engine.backend ->
   ?trace:Sim.Trace.t ->
   ?metrics:Obs.Metrics.t ->
+  ?shards:int ->
   Scenario.t ->
   parts
 (** Builds everything and schedules the crash plan (victims are watched in
@@ -29,7 +30,10 @@ val build :
     default, the timing wheel) — both backends produce bit-identical
     runs. [trace] becomes the engine's recorder, so structural
     event/message records flow into it under full tracing; [metrics] is
-    threaded to the dining and heartbeat overlays' link statistics. *)
+    threaded to the dining and heartbeat overlays' link statistics.
+    [shards > 0] switches the engine to staged stepping with that many
+    shards (default 0, the legacy fire loop) — runs and traces are
+    bit-identical either way and for any shard count. *)
 
 val convergence : parts -> Sim.Time.t * int
 (** Post-run detector convergence time and (for heartbeat) mistake count. *)

@@ -1,0 +1,34 @@
+(** Shard-safe synthetic ping workload.
+
+    Every process periodically pings its whole neighborhood over a
+    [shard_safe] {!Net.Network}; receivers fold the traffic into
+    per-process checksums. Every handler touches only state owned by its
+    event's owner pid, so the workload is legal under shard-{e parallel}
+    stepping ([~parallel:true] with a domain pool) — unlike the full
+    dining worlds, whose monitors and workload share cross-process
+    state and therefore run shards sequentially. Tests and the bench use
+    it to check (and time) that parallel sharded runs compute exactly
+    the sequential result. *)
+
+type result = {
+  events : int;  (** Engine events processed. *)
+  sent : int;
+  received : int;
+  checksum : int;  (** Order-sensitive digest of all deliveries. *)
+  worst_watermark : int;  (** Max per-edge in-flight watermark. *)
+}
+
+val run :
+  ?pool:Exec.Pool.t ->
+  ?parallel:bool ->
+  ?shards:int ->
+  ?period:int ->
+  ?seed:int64 ->
+  topology:Cgraph.Topology.spec ->
+  horizon:Sim.Time.t ->
+  unit ->
+  result
+(** Deterministic in [(topology, horizon, period, seed, shards)]:
+    [parallel] and [pool] never change the result, and neither does
+    [shards] once it is [>= 1] (all staged schedules merge in canonical
+    rank order). Defaults: sequential, [shards = 1], [period = 7]. *)

@@ -51,8 +51,8 @@ let watch_invariants ~engine ~horizon ~every (instance : Dining.Instance.t) =
   error
 
 let create ?backend ?(trace = Sim.Trace.create ()) ?(metrics = Obs.Metrics.create ())
-    (s : Scenario.t) =
-  let parts = Setup.build ?backend ~trace ~metrics s in
+    ?shards (s : Scenario.t) =
+  let parts = Setup.build ?backend ~trace ~metrics ?shards s in
   let { Setup.engine; faults; graph; rng; instance; _ } = parts in
   let n = Cgraph.Graph.n graph in
   let exclusion = Monitor.Exclusion.attach engine graph faults instance in
@@ -140,8 +140,8 @@ let report (w : t) =
     metrics = w.metrics;
   }
 
-let run ?backend ?trace ?metrics (s : Scenario.t) =
-  let w = create ?backend ?trace ?metrics s in
+let run ?backend ?trace ?metrics ?shards (s : Scenario.t) =
+  let w = create ?backend ?trace ?metrics ?shards s in
   advance w ~until:s.horizon;
   report w
 

@@ -53,6 +53,7 @@ val create :
   ?backend:Sim.Engine.backend ->
   ?trace:Sim.Trace.t ->
   ?metrics:Obs.Metrics.t ->
+  ?shards:int ->
   Scenario.t ->
   t
 (** Build a fresh world: engine, network, detector, daemon, monitors and
@@ -62,7 +63,10 @@ val create :
     backends are bit-identical). [trace] becomes the engine's recorder
     (capture it with {!Obs.Recorder.collecting} for JSONL export);
     [metrics] is the registry every component registers into (default: a
-    fresh private one, available via the report). *)
+    fresh private one, available via the report). [shards > 0] runs the
+    engine on staged stepping with that many shards (see
+    {!Setup.build}); reports and traces are bit-identical for any
+    value. *)
 
 val advance : t -> until:Sim.Time.t -> unit
 (** Process events up to and including virtual time [until]. Advancing in
@@ -80,6 +84,7 @@ val run :
   ?backend:Sim.Engine.backend ->
   ?trace:Sim.Trace.t ->
   ?metrics:Obs.Metrics.t ->
+  ?shards:int ->
   Scenario.t ->
   report
 (** [create |> advance ~until:horizon |> report] — deterministic in the

@@ -22,7 +22,7 @@ let schedule_crash t ~pid ~at =
     t.crash_at.(pid) <- at;
     t.pending.(pid) <-
       Some
-        (Sim.Engine.schedule t.engine ~at (fun () ->
+        (Sim.Engine.schedule t.engine ~owner:pid ~at (fun () ->
              t.pending.(pid) <- None;
              Obs.Recorder.crash (Sim.Engine.recorder t.engine) ~time:at ~pid;
              List.iter (fun f -> f pid) (List.rev t.listeners)))

@@ -2,63 +2,108 @@
    directed-slot / edge-id / kind indices, so a record_send on the hot
    path touches a handful of int cells and allocates nothing. The only
    remaining hashtable holds the (rare, experiment-driven) watched
-   destinations. *)
+   destinations.
+
+   The layout is organized for sharded stepping (Sim.Engine): every
+   directed-slot array is single-writer — d_sent / d_last_send are only
+   written by the slot's source (at send time), d_delivered / d_dropped
+   only by its destination (at settle time) — so shard-parallel firing
+   can update them in place. The per-process and global aggregates that
+   used to be running scalars (total sent, per-dst sent, last-send
+   times, per-slot in-flight, worst watermark) are instead derived from
+   those arrays at query time: reads are report-rate, sends are not.
+   Only the undirected-edge in-flight counters and their watermarks
+   genuinely need both endpoints to write one cell in event order;
+   in sharded mode, updates to edges that cross a shard boundary are
+   buffered per shard and applied at the engine's step merge, in the
+   same canonical order every shard count produces. *)
+
+type op = { o_rank : int; o_key : int } (* key = (edge * kc + kind) * 2 + send? *)
+
+type opvec = { mutable oa : op array; mutable on : int }
 
 type t = {
   graph : Cgraph.Graph.t;
   kinds : string array; (* kind names; record_* take indices into this *)
-  (* Per directed slot. *)
+  off : int array; (* CSR row offsets (graph-owned) *)
+  rev : int array; (* directed slot -> reverse slot *)
+  (* Per directed slot; see the single-writer note above. *)
   d_sent : int array;
   d_delivered : int array;
-  d_in_flight : int array;
-  (* Per undirected edge id. *)
+  d_dropped : int array;
+  d_last_send : Sim.Time.t array; (* -1 = never (times are >= 0) *)
+  (* Per undirected edge id (and per (edge, kind): edge * kind_count +
+     kind): written by both endpoints, staged when they are on
+     different shards. *)
   e_in_flight : int array;
   e_watermark : int array;
-  (* Per (edge, kind): edge * kind_count + kind. *)
   k_in_flight : int array;
   k_watermark : int array;
-  mutable worst_watermark : int; (* running max over all edge watermarks *)
-  mutable total_sent : int;
-  per_dst_sent : int array;
-  (* Last send times per process; -1 = never (times are >= 0). *)
-  last_send_to : int array;
-  last_send_from : int array;
   watched : (int, Sim.Time.t list ref) Hashtbl.t; (* dst -> send times, newest first *)
   (* Registered in the world's metrics registry (or a private one when
-     the caller passes none): a counter bump per send/delivery/drop. *)
+     the caller passes none): a counter bump per send/delivery/drop.
+     In sharded mode the live bumps are off (worker domains must not
+     race on the cells); {!sync_metrics} levels them from the derived
+     totals instead. *)
   m_sent : Obs.Metrics.counter;
   m_delivered : Obs.Metrics.counter;
   m_dropped : Obs.Metrics.counter;
+  (* Sharded mode (0 = off): probes into the engine's fire context. *)
+  mutable shards : int;
+  mutable shard_of : int -> int;
+  mutable fire_rank : unit -> int;
+  mutable fire_shard : unit -> int;
+  mutable op_staging : opvec array; (* per shard *)
 }
 
 let create ~graph ?(kinds = [| "msg" |]) ?metrics () =
   let metrics = match metrics with Some m -> m | None -> Obs.Metrics.create () in
-  let n = Cgraph.Graph.n graph in
   let dirs = Cgraph.Graph.dir_count graph in
   let m = Cgraph.Graph.edge_count graph in
   let kc = Array.length kinds in
+  let off = Cgraph.Graph.csr_offsets graph in
+  let tgt = Cgraph.Graph.csr_targets graph in
+  let rev = Array.make dirs 0 in
+  for i = 0 to Cgraph.Graph.n graph - 1 do
+    for s = off.(i) to off.(i + 1) - 1 do
+      rev.(s) <- Cgraph.Graph.dir_index graph tgt.(s) i
+    done
+  done;
   {
     graph;
     kinds;
+    off;
+    rev;
     d_sent = Array.make dirs 0;
     d_delivered = Array.make dirs 0;
-    d_in_flight = Array.make dirs 0;
+    d_dropped = Array.make dirs 0;
+    d_last_send = Array.make dirs (-1);
     e_in_flight = Array.make m 0;
     e_watermark = Array.make m 0;
     k_in_flight = Array.make (m * kc) 0;
     k_watermark = Array.make (m * kc) 0;
-    worst_watermark = 0;
-    total_sent = 0;
-    per_dst_sent = Array.make n 0;
-    last_send_to = Array.make n (-1);
-    last_send_from = Array.make n (-1);
     watched = Hashtbl.create 4;
     m_sent = Obs.Metrics.counter metrics "net.sent";
     m_delivered = Obs.Metrics.counter metrics "net.delivered";
     m_dropped = Obs.Metrics.counter metrics "net.dropped";
+    shards = 0;
+    shard_of = (fun _ -> 0);
+    fire_rank = (fun () -> -1);
+    fire_shard = (fun () -> -1);
+    op_staging = [||];
   }
 
 let kind_count t = Array.length t.kinds
+
+let set_sharding t ~shards ~shard_of ~fire_rank ~fire_shard =
+  if shards < 1 then invalid_arg "Link_stats.set_sharding: shards must be >= 1";
+  if Hashtbl.length t.watched > 0 then
+    invalid_arg "Link_stats.set_sharding: watched destinations are not shard-safe";
+  t.shards <- shards;
+  t.shard_of <- shard_of;
+  t.fire_rank <- fire_rank;
+  t.fire_shard <- fire_shard;
+  t.op_staging <- Array.init shards (fun _ -> { oa = [||]; on = 0 })
 
 let slot t src dst =
   let s = Cgraph.Graph.dir_index_opt t.graph src dst in
@@ -71,51 +116,92 @@ let check_kind t kind =
     invalid_arg (Printf.sprintf "Link_stats: bad kind index %d" kind)
 
 let watch_dst t dst =
+  if t.shards > 0 then invalid_arg "Link_stats.watch_dst: not shard-safe";
   if not (Hashtbl.mem t.watched dst) then Hashtbl.add t.watched dst (ref [])
 
+(* The one place edge/kind in-flight counters and watermarks move; in
+   sharded mode cross-shard ops arrive here via {!flush_staged}, in
+   canonical rank order. *)
+let[@lint.hot] apply_edge t ~e ~ke ~send =
+  if send then begin
+    t.e_in_flight.(e) <- t.e_in_flight.(e) + 1;
+    if t.e_in_flight.(e) > t.e_watermark.(e) then t.e_watermark.(e) <- t.e_in_flight.(e);
+    t.k_in_flight.(ke) <- t.k_in_flight.(ke) + 1;
+    if t.k_in_flight.(ke) > t.k_watermark.(ke) then t.k_watermark.(ke) <- t.k_in_flight.(ke)
+  end
+  else begin
+    t.e_in_flight.(e) <- t.e_in_flight.(e) - 1;
+    t.k_in_flight.(ke) <- t.k_in_flight.(ke) - 1
+  end
+
+let stage_op t ~key =
+  let sh = t.fire_shard () in
+  let sh = if sh >= 0 then sh else 0 in
+  let v = t.op_staging.(sh) in
+  let o = { o_rank = t.fire_rank (); o_key = key } in
+  if v.on >= Array.length v.oa then begin
+    let na = Array.make (max 8 (2 * Array.length v.oa)) o in
+    Array.blit v.oa 0 na 0 v.on;
+    v.oa <- na
+  end;
+  v.oa.(v.on) <- o;
+  v.on <- v.on + 1
+
+let edge_update t ~src ~dst ~e ~ke ~send =
+  if t.shards = 0 || t.shard_of src = t.shard_of dst then apply_edge t ~e ~ke ~send
+  else stage_op t ~key:((ke lsl 1) lor if send then 1 else 0)
+
+let flush_staged t =
+  if t.shards > 0 then begin
+    let total = Array.fold_left (fun acc v -> acc + v.on) 0 t.op_staging in
+    if total > 0 then begin
+      let bufs =
+        Array.map
+          (fun v ->
+            let a = Array.sub v.oa 0 v.on in
+            v.on <- 0;
+            a)
+          t.op_staging
+      in
+      let merged = Exec.Pool.merge_by ~rank:(fun o -> o.o_rank) bufs in
+      let kc = kind_count t in
+      Array.iter
+        (fun o ->
+          let ke = o.o_key lsr 1 in
+          apply_edge t ~e:(ke / kc) ~ke ~send:(o.o_key land 1 = 1))
+        merged
+    end
+  end
+
 let[@lint.hot] record_send t ~src ~dst ~kind ~at =
-  Obs.Metrics.incr t.m_sent;
+  if t.shards = 0 then Obs.Metrics.incr t.m_sent;
   check_kind t kind;
   let s = slot t src dst in
   t.d_sent.(s) <- t.d_sent.(s) + 1;
-  t.d_in_flight.(s) <- t.d_in_flight.(s) + 1;
-  t.total_sent <- t.total_sent + 1;
-  t.per_dst_sent.(dst) <- t.per_dst_sent.(dst) + 1;
-  t.last_send_to.(dst) <- at;
-  t.last_send_from.(src) <- at;
+  t.d_last_send.(s) <- at;
   let e = Cgraph.Graph.slot_edge_id t.graph s in
-  t.e_in_flight.(e) <- t.e_in_flight.(e) + 1;
-  if t.e_in_flight.(e) > t.e_watermark.(e) then begin
-    t.e_watermark.(e) <- t.e_in_flight.(e);
-    if t.e_watermark.(e) > t.worst_watermark then t.worst_watermark <- t.e_watermark.(e)
-  end;
-  let ke = (e * kind_count t) + kind in
-  t.k_in_flight.(ke) <- t.k_in_flight.(ke) + 1;
-  if t.k_in_flight.(ke) > t.k_watermark.(ke) then t.k_watermark.(ke) <- t.k_in_flight.(ke);
+  edge_update t ~src ~dst ~e ~ke:((e * kind_count t) + kind) ~send:true;
   match Hashtbl.find_opt t.watched dst with
   (* Watched destinations are a rare, experiment-only probe; the cons
      is the probe's storage and only happens for watched dsts. *)
   | Some times -> times := (at :: !times [@lint.allow "hot-path-alloc"])
   | None -> ()
 
-let settle t ~src ~dst ~kind =
+let[@lint.hot] record_delivery t ~src ~dst ~kind ~at:_ =
+  if t.shards = 0 then Obs.Metrics.incr t.m_delivered;
   check_kind t kind;
   let s = slot t src dst in
-  t.d_in_flight.(s) <- t.d_in_flight.(s) - 1;
-  let e = Cgraph.Graph.slot_edge_id t.graph s in
-  t.e_in_flight.(e) <- t.e_in_flight.(e) - 1;
-  let ke = (e * kind_count t) + kind in
-  t.k_in_flight.(ke) <- t.k_in_flight.(ke) - 1
-
-let record_delivery t ~src ~dst ~kind ~at:_ =
-  Obs.Metrics.incr t.m_delivered;
-  let s = slot t src dst in
   t.d_delivered.(s) <- t.d_delivered.(s) + 1;
-  settle t ~src ~dst ~kind
+  let e = Cgraph.Graph.slot_edge_id t.graph s in
+  edge_update t ~src ~dst ~e ~ke:((e * kind_count t) + kind) ~send:false
 
 let record_drop t ~src ~dst ~kind ~at:_ =
-  Obs.Metrics.incr t.m_dropped;
-  settle t ~src ~dst ~kind
+  if t.shards = 0 then Obs.Metrics.incr t.m_dropped;
+  check_kind t kind;
+  let s = slot t src dst in
+  t.d_dropped.(s) <- t.d_dropped.(s) + 1;
+  let e = Cgraph.Graph.slot_edge_id t.graph s in
+  edge_update t ~src ~dst ~e ~ke:((e * kind_count t) + kind) ~send:false
 
 (* Query accessors tolerate non-edges (returning 0): callers probe
    arbitrary pairs when summarizing. *)
@@ -126,7 +212,10 @@ let dir_get arr t src dst =
 
 let sent t ~src ~dst = dir_get t.d_sent t src dst
 let delivered t ~src ~dst = dir_get t.d_delivered t src dst
-let in_flight t ~src ~dst = dir_get t.d_in_flight t src dst
+
+let in_flight t ~src ~dst =
+  let s = Cgraph.Graph.dir_index_opt t.graph src dst in
+  if s < 0 then 0 else t.d_sent.(s) - t.d_delivered.(s) - t.d_dropped.(s)
 
 let edge_id_opt t a b =
   let s = Cgraph.Graph.dir_index_opt t.graph a b in
@@ -140,7 +229,7 @@ let edge_watermark t a b =
   let e = edge_id_opt t a b in
   if e < 0 then 0 else t.e_watermark.(e)
 
-let max_edge_watermark t = t.worst_watermark
+let max_edge_watermark t = Array.fold_left max 0 t.e_watermark
 
 let per_edge_watermarks t =
   (* Edge ids are already in canonical sorted order, so folding right
@@ -166,13 +255,37 @@ let max_edge_watermark_by_kind t =
   done;
   List.sort (fun (a, _) (b, _) -> compare a b) !acc
 
+(* Last-send times per process, derived from the per-slot stamps: stamps
+   are non-decreasing per slot, so the row maximum is the latest send. *)
+
+let row_max arr t pid =
+  if pid < 0 || pid + 1 >= Array.length t.off then -1
+  else begin
+    let best = ref (-1) in
+    for s = t.off.(pid) to t.off.(pid + 1) - 1 do
+      if arr.(s) > !best then best := arr.(s)
+    done;
+    !best
+  end
+
+let in_row_max arr t pid =
+  if pid < 0 || pid + 1 >= Array.length t.off then -1
+  else begin
+    let best = ref (-1) in
+    for s = t.off.(pid) to t.off.(pid + 1) - 1 do
+      let r = t.rev.(s) in
+      if arr.(r) > !best then best := arr.(r)
+    done;
+    !best
+  end
+
 let last_send_to t pid =
-  if t.last_send_to.(pid) < 0 then None else Some t.last_send_to.(pid)
+  let v = in_row_max t.d_last_send t pid in
+  if v < 0 then None else Some v
 
 let last_send_involving t pid =
-  let a = t.last_send_to.(pid) and b = t.last_send_from.(pid) in
-  let latest = max a b in
-  if latest < 0 then None else Some latest
+  let v = max (in_row_max t.d_last_send t pid) (row_max t.d_last_send t pid) in
+  if v < 0 then None else Some v
 
 let watched_times t dst =
   match Hashtbl.find_opt t.watched dst with
@@ -185,5 +298,24 @@ let sends_to_in_window t ~dst ~from_t ~to_t =
 let sends_to_after t ~dst ~after =
   List.length (List.filter (fun at -> at > after) (watched_times t dst))
 
-let total_sent t = t.total_sent
-let total_sends_to t ~dst = t.per_dst_sent.(dst)
+let total_sent t = Array.fold_left ( + ) 0 t.d_sent
+
+let total_sends_to t ~dst =
+  let acc = ref 0 in
+  if dst >= 0 && dst + 1 < Array.length t.off then
+    for s = t.off.(dst) to t.off.(dst + 1) - 1 do
+      acc := !acc + t.d_sent.(t.rev.(s))
+    done;
+  !acc
+
+let total_delivered t = Array.fold_left ( + ) 0 t.d_delivered
+let total_dropped t = Array.fold_left ( + ) 0 t.d_dropped
+
+let sync_metrics t =
+  let level c v =
+    let cur = Obs.Metrics.counter_value c in
+    if v > cur then Obs.Metrics.incr ~by:(v - cur) c
+  in
+  level t.m_sent (total_sent t);
+  level t.m_delivered (total_delivered t);
+  level t.m_dropped (total_dropped t)

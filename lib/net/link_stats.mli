@@ -1,13 +1,23 @@
 (** Per-directed-edge traffic accounting.
 
     Tracks, for each ordered pair (src, dst) of neighbors: cumulative
-    sends and deliveries, the current number of in-flight messages, the
-    in-flight high-water mark of the undirected edge (the paper bounds
-    this by 4), and the last send time. Everything is stored in flat
-    arrays indexed by the graph's dense directed-slot / edge-id / kind
-    indices, so recording a send is allocation-free. Message kinds are
-    dense indices into a caller-supplied name table so experiments can
-    break traffic down by ping/ack/request/fork. *)
+    sends, deliveries and drops, the in-flight high-water mark of the
+    undirected edge (the paper bounds this by 4), and the last send
+    time. Everything is stored in flat arrays indexed by the graph's
+    dense directed-slot / edge-id / kind indices, so recording a send is
+    allocation-free. Message kinds are dense indices into a
+    caller-supplied name table so experiments can break traffic down by
+    ping/ack/request/fork.
+
+    The arrays are laid out single-writer for sharded stepping
+    ({!Sim.Engine.set_sharding}): per-slot counters are written only by
+    the slot's source (sends) or destination (deliveries/drops), and
+    aggregates that used to be running scalars are derived from them at
+    query time. The undirected-edge in-flight counters genuinely take
+    writes from both endpoints; {!set_sharding} makes cross-shard
+    updates to them stage per shard and apply at the engine's step merge
+    in canonical rank order, so every count is independent of the shard
+    split. *)
 
 type t
 
@@ -37,8 +47,8 @@ val edge_watermark : t -> int -> int -> int
 
 val max_edge_watermark : t -> int
 (** Maximum of {!edge_watermark} over all edges that ever carried
-    traffic. O(1): maintained incrementally rather than by folding over
-    the per-edge table. *)
+    traffic. O(edges): derived from the per-edge table at query time so
+    the send path stays single-writer. *)
 
 val per_edge_watermarks : t -> ((int * int) * int) list
 (** Every edge that ever carried traffic with its in-flight watermark,
@@ -59,7 +69,8 @@ val watch_dst : t -> int -> unit
 (** Start retaining individual send timestamps for messages addressed to
     this process (needed by the windowed queries below). Quiescence
     experiments watch the processes they are about to crash; unwatched
-    destinations only keep O(1) counters. *)
+    destinations only keep O(1) counters. Not available in sharded
+    mode. *)
 
 val sends_to_in_window : t -> dst:int -> from_t:Sim.Time.t -> to_t:Sim.Time.t -> int
 (** Number of messages addressed to [dst] sent in [\[from_t, to_t)].
@@ -71,3 +82,33 @@ val sends_to_after : t -> dst:int -> after:Sim.Time.t -> int
 
 val total_sent : t -> int
 val total_sends_to : t -> dst:int -> int
+val total_delivered : t -> int
+val total_dropped : t -> int
+
+(** {2 Sharded mode}
+
+    Wired up by [Net.Network.create ~shard_safe:true]; tests may drive
+    it directly. *)
+
+val set_sharding :
+  t ->
+  shards:int ->
+  shard_of:(int -> int) ->
+  fire_rank:(unit -> int) ->
+  fire_shard:(unit -> int) ->
+  unit
+(** Switch cross-shard edge-counter updates to per-shard staging.
+    [shard_of] maps a pid to its shard; [fire_rank] / [fire_shard] probe
+    the engine's current fire context (see {!Sim.Engine.fire_rank}).
+    Live metrics bumps are disabled — call {!sync_metrics} at report
+    time. Raises [Invalid_argument] if any destination is watched. *)
+
+val flush_staged : t -> unit
+(** Apply the staged cross-shard edge updates, merged over shards in
+    canonical rank order. Register via {!Sim.Engine.add_step_hook}; a
+    no-op when nothing is staged or sharding is off. *)
+
+val sync_metrics : t -> unit
+(** Level the [net.*] counters up to the derived totals (sharded mode
+    skips the per-event bumps because metrics cells are not
+    shard-safe). *)

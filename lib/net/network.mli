@@ -29,6 +29,7 @@ val create :
   ?kind_names:string array ->
   ?on_drop:(src:int -> dst:int -> 'msg -> unit) ->
   ?metrics:Obs.Metrics.t ->
+  ?shard_safe:bool ->
   handler:(dst:int -> src:int -> 'msg -> unit) ->
   unit ->
   'msg t
@@ -44,7 +45,17 @@ val create :
     its traffic counters land in the world's registry; overlays sharing a
     registry aggregate into the same [net.*] counters. Under full tracing
     (see {!Obs.Recorder}) every send, delivery and drop is recorded in the
-    engine's recorder. *)
+    engine's recorder.
+
+    [shard_safe] (default false) prepares the overlay for shard-parallel
+    firing under {!Sim.Engine.set_sharding}: delay samples draw from a
+    per-source split of [rng] (so the draw sequence is independent of
+    cross-source interleaving — note this changes delivery times relative
+    to the default shared stream), and when the engine is sharded the
+    overlay's {!Link_stats} stages cross-shard edge-counter updates and
+    flushes them at the engine's step merge. Delivery events are owned by
+    their destination either way, so a sharded engine fires them on the
+    destination's shard. *)
 
 val send : 'msg t -> src:int -> dst:int -> 'msg -> unit
 (** Asynchronously send a message. [src] and [dst] must be adjacent in the

@@ -3,23 +3,47 @@
 module _ : Queue_sig.S = Pqueue
 module _ : Queue_sig.S = Wheel
 
-(* [state] packs the event id with its lifecycle flags so the record
-   stays at two fields — bit 0 = cancelled, bit 1 = fired, bits 2..
-   = id. Keeping the per-event allocation small matters: the engine
-   allocates one of these per scheduled event on the hot path. [action]
-   is mutable so cancel/fire can drop the closure: a cancelled husk may
-   sit in the queue until its tick is reached, and it must not retain
-   the closure's environment for all that time. *)
+(* [state] packs the event id, the owning process and the lifecycle
+   flags so the record stays at two fields — bit 0 = cancelled, bit 1 =
+   fired, bits 2..22 = owner + 1 (0 = ownerless), bits 23.. = id.
+   Keeping the per-event allocation small matters: the engine allocates
+   one of these per scheduled event on the hot path. The owner is what
+   sharded stepping partitions on; owners above {!owner_limit} are
+   silently treated as ownerless (set_sharding rejects such process
+   counts, so only legacy runs — where the owner is unused — ever get
+   there). [action] is mutable so cancel/fire can drop the closure: a
+   cancelled husk may sit in the queue until its tick is reached, and it
+   must not retain the closure's environment for all that time. *)
 type event = { mutable state : int; mutable action : unit -> unit }
 
 let cancelled_bit = 1
 let fired_bit = 2
-let id_of_state st = st lsr 2
+let owner_bits = 21
+let owner_mask = (1 lsl owner_bits) - 1
+let owner_limit = owner_mask - 1
+let id_shift = 2 + owner_bits
+let id_of_state st = st lsr id_shift
+let owner_of_state st = ((st lsr 2) land owner_mask) - 1
+let pack_owner owner = (owner + 1) lsl 2
 let noop () = ()
 
 type event_id = event option
 
 type backend = [ `Heap | `Wheel ]
+
+(* An effect buffered during a sharded step: an event scheduled while
+   the step's batch was firing, remembered with the pop rank of the
+   event that scheduled it. The rank is what makes the end-of-step merge
+   canonical: the batch fires in pop order whatever the shard count, so
+   (rank, per-shard program order) is a total order independent of S. *)
+type staged = { s_at : Time.t; s_rank : int; s_ev : event }
+
+type svec = { mutable sa : staged array; mutable sn : int }
+
+(* Per-domain fire context: which shard is firing and the rank of the
+   event being fired. Domain-local so the parallel fire phase can route
+   nested [schedule]/[cancel] calls without touching shared state. *)
+type fire_ctx = { mutable rank : int; mutable shard : int }
 
 (* Runtime switch rather than a functor: worlds pick their backend per
    engine (CLI flag, differential tests), and the one-branch dispatch is
@@ -33,6 +57,26 @@ type t = {
   mutable next_id : int;
   recorder : Obs.Recorder.t;
   tracing : bool ref; (* the recorder's live full-tracing flag *)
+  (* Sharded stepping (shards = 0: the legacy one-event-at-a-time fire
+     loop, byte-identical to what it always was). *)
+  mutable shards : int;
+  mutable shard_n : int; (* process count the partition covers *)
+  mutable pool : Exec.Pool.t option;
+  mutable parallel : bool; (* caller asserts shard-safe handlers *)
+  mutable staging : svec array; (* per shard, reused across steps *)
+  mutable deferred_dead : int array; (* per shard: husk notes owed to the queue *)
+  mutable in_step : bool;
+  mutable par_step : bool; (* this step fires its batches on the pool *)
+  mutable base_rank : int; (* rank of the current sub-round's first event *)
+  mutable batch_ev : event array; (* the tick's events in pop order *)
+  mutable batch_len : int;
+  mutable pb_ev : event array; (* parallel scatter: batch grouped by shard *)
+  mutable pb_rank : int array;
+  mutable pb_off : int array; (* shard s owns pb indices [off.(s), off.(s+1)) *)
+  mutable pb_cur : int array;
+  mutable shard_fired : int array;
+  mutable step_hooks : (unit -> unit) list; (* run after each sub-round merge *)
+  ctx_key : fire_ctx Domain.DLS.key;
 }
 
 let default_backend : backend = `Wheel
@@ -52,6 +96,24 @@ let create ?(backend = default_backend) ?recorder () =
     next_id = 0;
     recorder;
     tracing = Obs.Recorder.tracing_flag recorder;
+    shards = 0;
+    shard_n = 0;
+    pool = None;
+    parallel = false;
+    staging = [||];
+    deferred_dead = [||];
+    in_step = false;
+    par_step = false;
+    base_rank = 0;
+    batch_ev = [||];
+    batch_len = 0;
+    pb_ev = [||];
+    pb_rank = [||];
+    pb_off = [||];
+    pb_cur = [||];
+    shard_fired = [||];
+    step_hooks = [];
+    ctx_key = Domain.DLS.new_key (fun () -> { rank = -1; shard = -1 });
   }
 
 let backend t = match t.queue with Q_heap _ -> `Heap | Q_wheel _ -> `Wheel
@@ -72,23 +134,86 @@ let q_peek_prio t =
 let q_pop t = match t.queue with Q_heap q -> Pqueue.pop q | Q_wheel q -> Wheel.pop q
 let q_size t = match t.queue with Q_heap q -> Pqueue.size q | Q_wheel q -> Wheel.size q
 
-let schedule t ~at f =
+let set_sharding t ?pool ?(parallel = false) ~shards ~n () =
+  if t.in_step then invalid_arg "Engine.set_sharding: cannot reconfigure inside a step";
+  if n <= 0 then invalid_arg "Engine.set_sharding: n must be positive";
+  if n > owner_limit then
+    invalid_arg
+      (Printf.sprintf "Engine.set_sharding: n=%d exceeds the %d-bit owner field" n owner_bits);
+  if shards < 1 then invalid_arg "Engine.set_sharding: shards must be >= 1";
+  let shards = min shards n in
+  t.shards <- shards;
+  t.shard_n <- n;
+  t.pool <- pool;
+  t.parallel <- parallel;
+  t.staging <- Array.init shards (fun _ -> { sa = [||]; sn = 0 });
+  t.deferred_dead <- Array.make shards 0;
+  t.pb_off <- Array.make (shards + 1) 0;
+  t.pb_cur <- Array.make shards 0;
+  t.shard_fired <- Array.make shards 0
+
+let shards t = t.shards
+
+(* Contiguous partition of [0, shard_n) into [shards] ranges; ownerless
+   events (and any owner outside the partition) fall into shard 0. *)
+let shard_of t owner =
+  if t.shards <= 1 || owner <= 0 then 0
+  else
+    let o = if owner >= t.shard_n then t.shard_n - 1 else owner in
+    o * t.shards / t.shard_n
+
+let fire_rank t = (Domain.DLS.get t.ctx_key).rank
+let fire_shard t = (Domain.DLS.get t.ctx_key).shard
+let add_step_hook t f = t.step_hooks <- t.step_hooks @ [ f ]
+
+let stage_push t shard stg =
+  let v = t.staging.(shard) in
+  if v.sn >= Array.length v.sa then begin
+    let na = Array.make (max 8 (2 * Array.length v.sa)) stg in
+    Array.blit v.sa 0 na 0 v.sn;
+    v.sa <- na
+  end;
+  v.sa.(v.sn) <- stg;
+  v.sn <- v.sn + 1
+
+let schedule t ?(owner = -1) ~at f =
+  let owner = if owner < -1 || owner > owner_limit then -1 else owner in
   if at = Time.infinity then None
   else begin
     if at < t.clock then
       invalid_arg
         (Printf.sprintf "Engine.schedule: at=%d is in the past (now=%d)" at t.clock);
-    let ev = { state = t.next_id lsl 2; action = f } in
-    t.next_id <- t.next_id + 1;
-    q_add t ~prio:at ev;
-    (* Call-site guard: the emission call is skipped entirely when full
-       tracing is off, keeping the hot path at one load + branch. *)
-    if !(t.tracing) then
-      Obs.Recorder.sched t.recorder ~time:t.clock ~id:(id_of_state ev.state) ~at;
-    Some ev
+    if t.in_step then begin
+      (* Staged stepping: the new event goes into the firing shard's
+         staging buffer and reaches the queue at the sub-round's merge
+         point, in canonical (rank, program-order) order. In a parallel
+         step the id is also assigned at the merge — [next_id] must not
+         be touched from worker domains — which lands on the same values
+         in the same order as the sequential path does eagerly. *)
+      let ctx = Domain.DLS.get t.ctx_key in
+      let ev = { state = pack_owner owner; action = f } in
+      if not t.par_step then begin
+        ev.state <- ev.state lor (t.next_id lsl id_shift);
+        t.next_id <- t.next_id + 1;
+        if !(t.tracing) then
+          Obs.Recorder.sched t.recorder ~time:t.clock ~id:(id_of_state ev.state) ~at
+      end;
+      stage_push t (if ctx.shard >= 0 then ctx.shard else 0) { s_at = at; s_rank = ctx.rank; s_ev = ev };
+      Some ev
+    end
+    else begin
+      let ev = { state = (t.next_id lsl id_shift) lor pack_owner owner; action = f } in
+      t.next_id <- t.next_id + 1;
+      q_add t ~prio:at ev;
+      (* Call-site guard: the emission call is skipped entirely when full
+         tracing is off, keeping the hot path at one load + branch. *)
+      if !(t.tracing) then
+        Obs.Recorder.sched t.recorder ~time:t.clock ~id:(id_of_state ev.state) ~at;
+      Some ev
+    end
   end
 
-let schedule_after t ~delay f = schedule t ~at:(Time.add t.clock delay) f
+let schedule_after t ?owner ~delay f = schedule t ?owner ~at:(Time.add t.clock delay) f
 
 let cancel t id =
   match id with
@@ -101,7 +226,16 @@ let cancel t id =
         (* The husk stays queued until popped or compacted away; drop the
            closure now so it doesn't pin its environment until then. *)
         ev.action <- noop;
-        q_note_dead t;
+        if t.in_step then begin
+          (* Deferred husk note: mid-step the event may live in a staging
+             buffer or the current batch rather than the queue, and in a
+             parallel step the queue must not be touched from worker
+             domains. Settled at the sub-round merge. *)
+          let ctx = Domain.DLS.get t.ctx_key in
+          let sh = if ctx.shard >= 0 then ctx.shard else 0 in
+          t.deferred_dead.(sh) <- t.deferred_dead.(sh) + 1
+        end
+        else q_note_dead t;
         if !(t.tracing) then
           Obs.Recorder.cancel t.recorder ~time:t.clock ~id:(id_of_state ev.state)
       end
@@ -132,7 +266,188 @@ let[@lint.hot] rec fire_loop t ~until =
           end;
           fire_loop t ~until)
 
-let run t ~until = fire_loop t ~until
+(* ---- Sharded stepping ------------------------------------------------ *)
+
+let batch_push t ev =
+  if t.batch_len >= Array.length t.batch_ev then begin
+    let na = Array.make (max 16 (2 * Array.length t.batch_ev)) ev in
+    Array.blit t.batch_ev 0 na 0 t.batch_len;
+    t.batch_ev <- na
+  end;
+  t.batch_ev.(t.batch_len) <- ev;
+  t.batch_len <- t.batch_len + 1
+
+let[@lint.hot] fire_event_seq t at ev =
+  let st = ev.state in
+  ev.state <- st lor fired_bit;
+  if st land cancelled_bit = 0 then begin
+    t.clock <- at;
+    t.processed <- t.processed + 1;
+    if !(t.tracing) then Obs.Recorder.fire t.recorder ~time:at ~id:(id_of_state st);
+    let action = ev.action in
+    ev.action <- noop;
+    action ()
+  end
+
+(* Sequential staged fire: pop order, exactly the order the legacy loop
+   would have fired — shard labels only route staging buffers. *)
+let fire_batch_seq t tick =
+  let ctx = Domain.DLS.get t.ctx_key in
+  for r = 0 to t.batch_len - 1 do
+    let ev = t.batch_ev.(r) in
+    ctx.rank <- t.base_rank + r;
+    ctx.shard <- shard_of t (owner_of_state ev.state);
+    fire_event_seq t tick ev
+  done;
+  ctx.rank <- -1;
+  ctx.shard <- -1
+
+(* Parallel staged fire: group the batch by shard (preserving pop order
+   within each shard) and fire the shards on the pool. Only reached when
+   the caller asserted shard-safe handlers and tracing is off; worker
+   domains never touch the queue, the recorder, or [next_id] — their
+   only shared-state writes go through the per-shard staging buffers. *)
+let fire_batch_par t tick pool =
+  let s = t.shards in
+  let off = t.pb_off and cur = t.pb_cur in
+  Array.fill off 0 (s + 1) 0;
+  for r = 0 to t.batch_len - 1 do
+    let sh = shard_of t (owner_of_state t.batch_ev.(r).state) in
+    off.(sh + 1) <- off.(sh + 1) + 1
+  done;
+  for i = 0 to s - 1 do
+    off.(i + 1) <- off.(i + 1) + off.(i);
+    cur.(i) <- off.(i)
+  done;
+  if Array.length t.pb_ev < t.batch_len then begin
+    t.pb_ev <- Array.make (2 * t.batch_len) t.batch_ev.(0);
+    t.pb_rank <- Array.make (2 * t.batch_len) 0
+  end;
+  let any_live = ref false in
+  for r = 0 to t.batch_len - 1 do
+    let ev = t.batch_ev.(r) in
+    if ev.state land cancelled_bit = 0 then any_live := true;
+    let sh = shard_of t (owner_of_state ev.state) in
+    let idx = cur.(sh) in
+    t.pb_ev.(idx) <- ev;
+    t.pb_rank.(idx) <- t.base_rank + r;
+    cur.(sh) <- idx + 1
+  done;
+  (* The clock is advanced once, before the barrier: worker domains read
+     [now] but must not write it. *)
+  if !any_live then t.clock <- tick;
+  Exec.Pool.run_batch pool s (fun sh ->
+      let ctx = Domain.DLS.get t.ctx_key in
+      ctx.shard <- sh;
+      let fired = ref 0 in
+      for idx = off.(sh) to off.(sh + 1) - 1 do
+        let ev = t.pb_ev.(idx) in
+        ctx.rank <- t.pb_rank.(idx);
+        let st = ev.state in
+        ev.state <- st lor fired_bit;
+        if st land cancelled_bit = 0 then begin
+          incr fired;
+          let action = ev.action in
+          ev.action <- noop;
+          action ()
+        end
+      done;
+      ctx.rank <- -1;
+      ctx.shard <- -1;
+      t.shard_fired.(sh) <- !fired);
+  for sh = 0 to s - 1 do
+    t.processed <- t.processed + t.shard_fired.(sh);
+    t.shard_fired.(sh) <- 0
+  done
+
+let dummy_staged =
+  { s_at = 0; s_rank = 0; s_ev = { state = cancelled_bit lor fired_bit; action = noop } }
+
+(* Merge one sub-round's staged effects back into the step: schedules in
+   canonical order (same-tick ones refill the batch for the next
+   sub-round, later ones enter the queue), then the owed husk notes,
+   then the component flush hooks (Net.Link_stats cross-shard staging). *)
+let merge_subround t tick =
+  let total = Array.fold_left (fun acc v -> acc + v.sn) 0 t.staging in
+  if total > 0 then begin
+    let bufs =
+      Array.map
+        (fun v ->
+          let a = Array.sub v.sa 0 v.sn in
+          (* Release the staged references: the buffer keeps its capacity
+             across steps and must not pin events from finished ones. *)
+          Array.fill v.sa 0 v.sn dummy_staged;
+          v.sn <- 0;
+          a)
+        t.staging
+    in
+    let merged = Exec.Pool.merge_by ~rank:(fun stg -> stg.s_rank) bufs in
+    Array.iter
+      (fun stg ->
+        let ev = stg.s_ev in
+        if t.par_step then begin
+          ev.state <- ev.state lor (t.next_id lsl id_shift);
+          t.next_id <- t.next_id + 1
+        end;
+        if stg.s_at = tick then batch_push t ev else q_add t ~prio:stg.s_at ev)
+      merged
+  end;
+  for sh = 0 to t.shards - 1 do
+    for _ = 1 to t.deferred_dead.(sh) do
+      q_note_dead t
+    done;
+    t.deferred_dead.(sh) <- 0
+  done;
+  List.iter (fun f -> f ()) t.step_hooks
+
+(* Staged stepping: drain every event of the frontier tick into a batch,
+   fire the batch (sequentially in pop order, or shard-parallel on the
+   pool), merge staged effects, and repeat sub-rounds while the firing
+   keeps scheduling into the same tick. Equivalent to the legacy loop:
+   pop order is preserved, and merged insertion order equals program
+   order (see merge_by) — the sequential staged path produces
+   byte-identical traces to shards = 0. *)
+let staged_loop t ~until =
+  let rec step () =
+    match q_peek_prio t with
+    | None -> ()
+    | Some at when at > until -> ()
+    | Some tick ->
+        t.batch_len <- 0;
+        let rec drain () =
+          match q_peek_prio t with
+          | Some p when p = tick -> (
+              match q_pop t with
+              | Some (_, ev) ->
+                  batch_push t ev;
+                  drain ()
+              | None -> ())
+          | _ -> ()
+        in
+        drain ();
+        t.in_step <- true;
+        t.par_step <-
+          t.parallel && t.shards > 1 && t.pool <> None && not !(t.tracing);
+        t.base_rank <- 0;
+        let rec subround () =
+          if t.batch_len > 0 then begin
+            let len = t.batch_len in
+            (match t.pool with
+            | Some pool when t.par_step -> fire_batch_par t tick pool
+            | _ -> fire_batch_seq t tick);
+            t.base_rank <- t.base_rank + len;
+            t.batch_len <- 0;
+            merge_subround t tick;
+            subround ()
+          end
+        in
+        subround ();
+        t.in_step <- false;
+        step ()
+  in
+  step ()
+
+let run t ~until = if t.shards > 0 then staged_loop t ~until else fire_loop t ~until
 
 let run_all t = run t ~until:Time.infinity
 let pending t = q_size t

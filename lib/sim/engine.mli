@@ -3,7 +3,24 @@
     The engine owns a virtual clock and a deterministic event queue.
     Events are closures scheduled at absolute virtual times; events with
     equal times fire in scheduling order. Handlers run instantaneously in
-    virtual time and may schedule further events. *)
+    virtual time and may schedule further events.
+
+    {2 Sharded stepping}
+
+    {!set_sharding} switches the engine from the legacy
+    one-event-at-a-time fire loop to staged stepping: each step drains
+    every event of the frontier tick into a batch, fires the batch, and
+    merges the events scheduled during the firing back into the queue in
+    a canonical order — sorted by the pop rank of the scheduling event,
+    program order within a rank. Because pop order does not depend on
+    the shard count, the merged schedule (and hence the trace) is
+    bit-identical for any [shards]; the sequential staged path is
+    furthermore byte-identical to the legacy loop. When a pool is
+    attached and [parallel] is set, each shard's slice of the batch
+    fires on its own domain — only sound when every handler touches
+    state of its own shard exclusively (cross-shard effects must go
+    through [schedule] or a staged component such as
+    [Net.Link_stats]); full tracing must be off. *)
 
 type t
 
@@ -34,12 +51,14 @@ val recorder : t -> Obs.Recorder.t
 (** The recorder this engine (and every component built on it) emits
     into — one per simulated world. *)
 
-val schedule : t -> at:Time.t -> (unit -> unit) -> event_id
-(** [schedule t ~at f] runs [f] when the clock reaches [at]. [at] must not
-    be in the past. Scheduling at [Time.infinity] is a no-op that returns a
-    dead id. *)
+val schedule : t -> ?owner:int -> at:Time.t -> (unit -> unit) -> event_id
+(** [schedule t ~owner ~at f] runs [f] when the clock reaches [at]. [at]
+    must not be in the past. Scheduling at [Time.infinity] is a no-op
+    that returns a dead id. [owner] is the process the event belongs to
+    (default: ownerless); sharded stepping partitions the batch on it.
+    Owners outside the 21-bit field are treated as ownerless. *)
 
-val schedule_after : t -> delay:Time.t -> (unit -> unit) -> event_id
+val schedule_after : t -> ?owner:int -> delay:Time.t -> (unit -> unit) -> event_id
 (** [schedule_after t ~delay f] = [schedule t ~at:(now t + delay) f]. *)
 
 val cancel : t -> event_id -> unit
@@ -62,3 +81,36 @@ val pending : t -> int
 
 val processed : t -> int
 (** Total number of events fired so far. *)
+
+val set_sharding : t -> ?pool:Exec.Pool.t -> ?parallel:bool -> shards:int -> n:int -> unit -> unit
+(** [set_sharding t ~pool ~parallel ~shards ~n ()] enables staged
+    stepping with [shards] contiguous shards over owner pids [0, n)
+    (clamped to [n]). Without [pool] (or with [parallel] false, the
+    default) batches still fire sequentially in pop order — same
+    results, same traces, any [shards]. With a pool and [~parallel:true]
+    batches fire shard-parallel whenever full tracing is off; the caller
+    thereby asserts every handler is shard-safe. Call before running;
+    raises [Invalid_argument] mid-step or if [n] exceeds the owner
+    field. *)
+
+val shards : t -> int
+(** Number of shards staged stepping partitions into; 0 when the engine
+    is on the legacy fire loop. *)
+
+val shard_of : t -> int -> int
+(** [shard_of t owner] is the shard owning that pid under the current
+    partition (0 for ownerless / unsharded). *)
+
+val fire_rank : t -> int
+(** Pop rank of the event currently firing on this domain, -1 outside a
+    fire phase. The canonical-merge key for staged per-shard effects. *)
+
+val fire_shard : t -> int
+(** Shard of the event currently firing on this domain, -1 outside a
+    fire phase. *)
+
+val add_step_hook : t -> (unit -> unit) -> unit
+(** Register a hook run (on the submitting domain) after every staged
+    sub-round merge — where components with their own per-shard staging
+    (e.g. [Net.Link_stats]) apply buffered cross-shard effects in
+    canonical order. Never called on the legacy fire loop. *)

@@ -45,6 +45,13 @@ let push_entry t entry =
   done
 
 let add t ~prio value =
+  if prio < 0 then invalid_arg "Pqueue.add: negative priority";
+  (* Mirror of Wheel.add: [max_int] is [Sim.Time.infinity], the "never"
+     sentinel, not a schedulable tick. Both backends must reject it, or a
+     saturated [Time.add] would fire an event at the end of time on one
+     backend and not the other. *)
+  if prio = max_int then
+    invalid_arg "Pqueue.add: prio = max_int is Time.infinity (event would never fire)";
   let entry = { prio; seq = t.next_seq; value } in
   t.next_seq <- t.next_seq + 1;
   push_entry t entry

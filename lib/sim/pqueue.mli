@@ -21,7 +21,10 @@ val create : ?dead:('a -> bool) -> unit -> 'a t
     [dead], the queue never compacts (seed behaviour). *)
 
 val add : 'a t -> prio:int -> 'a -> unit
-(** Insert an element with the given priority. O(log n). *)
+(** Insert an element with the given priority. O(log n).
+    @raise Invalid_argument if [prio] is negative or equal to [max_int]
+    ([Time.infinity], the "never" sentinel — such an event would never
+    fire). *)
 
 val note_dead : 'a t -> unit
 (** Tell the queue one of its entries just became dead. May trigger a

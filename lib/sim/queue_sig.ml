@@ -20,7 +20,9 @@ module type S = sig
       Without [dead], the queue never compacts. *)
 
   val add : 'a t -> prio:int -> 'a -> unit
-  (** Insert an element with the given priority. *)
+  (** Insert an element with the given priority. Rejects [max_int]
+      ([Time.infinity]) with [Invalid_argument]: that priority is the
+      "never" sentinel, not a schedulable tick. *)
 
   val note_dead : 'a t -> unit
   (** Tell the queue one of its entries just became dead. May trigger a

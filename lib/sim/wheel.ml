@@ -156,6 +156,12 @@ let buf_append t e =
 
 let add t ~prio value =
   if prio < 0 then invalid_arg "Wheel.add: negative priority";
+  (* [max_int] is [Sim.Time.infinity], the "never" sentinel ([find_min]
+     also uses it as a fold seed); an entry at that tick would mean a
+     saturated [Time.add] silently became a real event at the end of
+     time. Every finite tick up to [max_int - 1] is representable. *)
+  if prio = max_int then
+    invalid_arg "Wheel.add: prio = max_int is Time.infinity (event would never fire)";
   if prio < t.floor then
     invalid_arg
       (Printf.sprintf "Wheel.add: prio=%d is below the last popped tick (%d)" prio t.floor);

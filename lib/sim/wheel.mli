@@ -27,8 +27,10 @@ val create : ?dead:('a -> bool) -> unit -> 'a t
 
 val add : 'a t -> prio:int -> 'a -> unit
 (** Insert an element with the given priority (tick). Amortised O(1).
-    @raise Invalid_argument if [prio] is negative or below the last
-    popped tick. *)
+    Every finite tick up to [max_int - 1] is representable.
+    @raise Invalid_argument if [prio] is negative, below the last
+    popped tick, or equal to [max_int] ([Time.infinity], the "never"
+    sentinel — such an event would never fire). *)
 
 val note_dead : 'a t -> unit
 (** Tell the wheel one of its entries just became dead. May trigger a

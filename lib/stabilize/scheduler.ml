@@ -45,7 +45,8 @@ let consider t pid =
     && t.protocol.Protocol.enabled (view t pid)
   then
     ignore
-      (Sim.Engine.schedule_after t.engine ~delay:(sample t.rng t.reaction_delay) (fun () ->
+      (Sim.Engine.schedule_after t.engine ~owner:pid ~delay:(sample t.rng t.reaction_delay)
+         (fun () ->
            if
              alive t pid
              && t.instance.phase pid = Dining.Types.Thinking
@@ -88,7 +89,8 @@ let attach ~engine ~faults ~graph ~rng ~protocol ?(step_duration = (5, 20))
             t.overlap_races <- t.overlap_races + 1;
           let snapshot = view t pid in
           ignore
-            (Sim.Engine.schedule_after engine ~delay:(sample t.rng step_duration) (fun () ->
+            (Sim.Engine.schedule_after engine ~owner:pid ~delay:(sample t.rng step_duration)
+               (fun () ->
                  if alive t pid && instance.phase pid = Dining.Types.Eating then begin
                    if t.protocol.Protocol.enabled snapshot then begin
                      let next = t.protocol.Protocol.step snapshot in

@@ -161,6 +161,59 @@ let heartbeat_notifies_subscribers () =
   let observers = List.sort_uniq compare !changes in
   check (Alcotest.list int) "both neighbors of the crashed notified" [ 1; 3 ] observers
 
+(* Regression: [Heartbeat.create] used to schedule the first beats and
+   timeout checks at absolute times computed from 0, so building a
+   detector on an engine whose clock had already advanced raised
+   "Engine.schedule: at=... is in the past". All first beats and checks
+   are now offset from [Engine.now] at creation. *)
+let heartbeat_on_advanced_engine () =
+  let engine = Sim.Engine.create () in
+  let graph = ring 4 in
+  let faults = Net.Faults.create engine ~n:4 in
+  (* Advance well past period and initial_timeout before creating. *)
+  ignore (Sim.Engine.schedule engine ~at:500 (fun () -> ()));
+  Sim.Engine.run_all engine;
+  check int "engine pre-advanced" 500 (Sim.Engine.now engine);
+  let hb, d =
+    Fd.Heartbeat.create ~engine ~faults ~graph ~delay:(Net.Delay.Fixed 2)
+      ~rng:(Sim.Rng.create 17L) ~period:20 ~initial_timeout:30 ~bump:25 ()
+  in
+  Net.Faults.schedule_crash faults ~pid:2 ~at:1_500;
+  Sim.Engine.run engine ~until:5_000;
+  check int "no false suspicions" 0 (Fd.Heartbeat.mistakes hb);
+  check bool "crash detected from a late start" true
+    (d.Fd.Detector.suspects ~observer:1 ~target:2);
+  check bool "live pair unsuspected" false (d.Fd.Detector.suspects ~observer:0 ~target:1)
+
+(* The detector's behaviour must not depend on the creation time: a
+   world started at 0 and one started at an arbitrary offset see the
+   same mistakes and timeouts. *)
+let heartbeat_offset_invariant () =
+  let run offset =
+    let engine = Sim.Engine.create () in
+    let graph = ring 4 in
+    let faults = Net.Faults.create engine ~n:4 in
+    if offset > 0 then begin
+      ignore (Sim.Engine.schedule engine ~at:offset (fun () -> ()));
+      Sim.Engine.run_all engine
+    end;
+    let delay =
+      Net.Delay.Partial_synchrony { gst = offset + 3_000; pre = (1, 120); post = (1, 5) }
+    in
+    let hb, _ =
+      Fd.Heartbeat.create ~engine ~faults ~graph ~delay ~rng:(Sim.Rng.create 17L) ~period:20
+        ~initial_timeout:30 ~bump:25 ()
+    in
+    Sim.Engine.run engine ~until:(offset + 20_000);
+    ( Fd.Heartbeat.mistakes hb,
+      List.init 4 (fun i -> Fd.Heartbeat.timeout hb ~observer:i ~target:((i + 1) mod 4)),
+      Option.map (fun t -> t - offset) (Fd.Heartbeat.last_mistake hb) )
+  in
+  let at0 = run 0 in
+  check bool "same mistakes/timeouts when created at t=7777" true (run 7_777 = at0);
+  let mistakes, _, _ = at0 in
+  check bool "scenario exercises the adaptive path" true (mistakes > 0)
+
 (* ---------------------------- Unreliable --------------------------- *)
 
 let unreliable_keeps_lying () =
@@ -226,4 +279,8 @@ let suite =
       heartbeat_eventual_accuracy_under_ps;
     Alcotest.test_case "heartbeat: adaptive timeout grows" `Quick heartbeat_timeout_grows;
     Alcotest.test_case "heartbeat: change notifications" `Quick heartbeat_notifies_subscribers;
+    Alcotest.test_case "heartbeat: create on a pre-advanced engine" `Quick
+      heartbeat_on_advanced_engine;
+    Alcotest.test_case "heartbeat: behaviour independent of creation time" `Quick
+      heartbeat_offset_invariant;
   ]

@@ -104,6 +104,87 @@ let run_batch_sequential_exception_safe () =
       | exception Failure msg -> check Alcotest.string "lowest-index exception" "2" msg);
       check bool "every index still ran" true (Array.for_all Fun.id ran))
 
+(* Regression: submitting a batch from inside a running batch used to
+   silently overwrite the pool's current-batch slot — workers of the
+   outer batch picked up the inner one's tasks and both completion
+   counts went wrong (lost tasks, or a submitter stuck forever). The
+   pool must reject nested and concurrent submissions loudly instead.
+   Watchdog-guarded: on pre-fix code this test hangs rather than
+   fails. *)
+let run_batch_rejects_nested () =
+  let outcome = Atomic.make None in
+  let worker =
+    Domain.spawn (fun () ->
+        Exec.Pool.with_pool ~domains:4 (fun pool ->
+            let nested =
+              try
+                Exec.Pool.run_batch pool 4 (fun i ->
+                    if i = 2 then Exec.Pool.run_batch pool 3 (fun _ -> ()));
+                Error "no exception"
+              with
+              | Invalid_argument _ -> Ok ()
+              | e -> Error (Printexc.to_string e)
+            in
+            (* The pool survives the rejected submission. *)
+            let again = Exec.Pool.init pool 5 Fun.id in
+            Atomic.set outcome (Some (nested, again = [| 0; 1; 2; 3; 4 |]))))
+  in
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  while Atomic.get outcome = None && Unix.gettimeofday () < deadline do
+    Unix.sleepf 0.01
+  done;
+  match Atomic.get outcome with
+  | None -> Alcotest.fail "nested run_batch deadlocked instead of raising"
+  | Some (nested, reusable) ->
+      Domain.join worker;
+      (match nested with
+      | Ok () -> ()
+      | Error what -> Alcotest.failf "expected Invalid_argument, got %s" what);
+      check bool "pool reusable after rejection" true reusable
+
+(* Same guard for the sequential fallback (domains = 1): nesting there
+   would reenter the submitter's own drain loop. *)
+let run_batch_rejects_nested_sequential () =
+  Exec.Pool.with_pool ~domains:1 (fun pool ->
+      let rejected =
+        match
+          Exec.Pool.run_batch pool 3 (fun i ->
+              if i = 0 then Exec.Pool.run_batch pool 2 (fun _ -> ()))
+        with
+        | () -> false
+        | exception Invalid_argument _ -> true
+      in
+      check bool "sequential nesting rejected" true rejected;
+      check (Alcotest.array int) "pool reusable" [| 0; 1 |] (Exec.Pool.init pool 2 Fun.id))
+
+(* Two distinct pools may nest freely — only same-pool reentrancy is a
+   bug. *)
+let run_batch_distinct_pools_nest () =
+  Exec.Pool.with_pool ~domains:2 (fun outer ->
+      Exec.Pool.with_pool ~domains:2 (fun inner ->
+          let hits = Atomic.make 0 in
+          Exec.Pool.run_batch outer 3 (fun _ ->
+              Exec.Pool.run_batch inner 2 (fun _ -> Atomic.incr hits));
+          check int "all inner tasks ran" 6 (Atomic.get hits)))
+
+let merge_by_canonical () =
+  let buffers =
+    [|
+      [| (0, "a"); (2, "b"); (2, "c") |];
+      [| (1, "d"); (2, "e") |];
+      [||];
+      [| (0, "f"); (3, "g") |];
+    |]
+  in
+  let merged = Exec.Pool.merge_by ~rank:fst buffers in
+  (* Sorted by rank; ties keep buffer-index order then intra-buffer
+     order — the canonical (rank, program order) merge. *)
+  check
+    (Alcotest.array (Alcotest.pair int Alcotest.string))
+    "stable rank merge"
+    [| (0, "a"); (0, "f"); (1, "d"); (2, "b"); (2, "c"); (2, "e"); (3, "g") |]
+    merged
+
 let matches_array_init =
   QCheck.Test.make ~name:"exec: init = Array.init for any size/domains" ~count:50
     QCheck.(pair (int_bound 200) (int_range 1 6))
@@ -123,5 +204,10 @@ let suite =
     Alcotest.test_case "pool: run_batch survives raising bodies" `Quick run_batch_exception_safe;
     Alcotest.test_case "pool: sequential run_batch survives raising bodies" `Quick
       run_batch_sequential_exception_safe;
+    Alcotest.test_case "pool: rejects nested submission" `Quick run_batch_rejects_nested;
+    Alcotest.test_case "pool: rejects nested submission (sequential)" `Quick
+      run_batch_rejects_nested_sequential;
+    Alcotest.test_case "pool: distinct pools nest freely" `Quick run_batch_distinct_pools_nest;
+    Alcotest.test_case "pool: merge_by is the canonical rank merge" `Quick merge_by_canonical;
     QCheck_alcotest.to_alcotest matches_array_init;
   ]

@@ -92,6 +92,60 @@ let workload_drives_everyone () =
   check bool "every process ate" true (Array.for_all (fun e -> e > 0) r.eats_per_process);
   check bool "hungry transitions >= eats" true (r.hungry_transitions >= r.total_eats)
 
+(* Sharded stepping is an engine implementation detail exactly like the
+   queue backend: the same scenario must produce a bit-identical
+   execution — report and full trace record stream — for the legacy fire
+   loop and for staged stepping at any shard count. The heartbeat +
+   crashes scenario routes real message traffic, detector timers and
+   cancellations through the staged path. *)
+let shard_equivalence () =
+  let s =
+    scenario ~topology:(Cgraph.Topology.Random_gnp (14, 0.25, 2L))
+      ~detector:(Harness.Scenario.Heartbeat { period = 20; initial_timeout = 30; bump = 25 })
+      ~crashes:(Harness.Scenario.Random_crashes { count = 2; from_t = 1_000; to_t = 9_000 })
+      ~horizon:20_000 ()
+  in
+  let run shards =
+    let trace = Sim.Trace.collecting () in
+    let r = Harness.Run.run ~trace ~shards s in
+    (r, Sim.Trace.records trace)
+  in
+  let a, ta = run 0 in
+  List.iter
+    (fun shards ->
+      let b, tb = run shards in
+      check int (Printf.sprintf "same eats at shards=%d" shards) a.total_eats b.total_eats;
+      check int "same events" a.events_processed b.events_processed;
+      check int "same convergence" a.convergence b.convergence;
+      check int "same detector mistakes" a.detector_mistakes b.detector_mistakes;
+      check bool "same per-process eats" true (a.eats_per_process = b.eats_per_process);
+      check bool "same crash plan" true (a.crashed = b.crashed);
+      check bool "no invariant failures" true (b.invariant_error = None);
+      check bool (Printf.sprintf "identical traces at shards=%d" shards) true (ta = tb))
+    [ 1; 2; 4 ]
+
+(* The shard-safe ping workload is where sharding buys real parallelism:
+   shard-parallel execution on a domain pool must equal the sequential
+   run exactly, and the result must not depend on the shard count. *)
+let shard_ping_parallel_equality () =
+  let topology = Cgraph.Topology.Random_gnp (48, 0.12, 5L) in
+  let horizon = 1_500 in
+  let seq = Harness.Shard_ping.run ~shards:1 ~topology ~horizon () in
+  check bool "traffic flowed" true (seq.Harness.Shard_ping.sent > 0 && seq.received > 0);
+  List.iter
+    (fun shards ->
+      let r = Harness.Shard_ping.run ~shards ~topology ~horizon () in
+      check bool (Printf.sprintf "shards=%d equals shards=1" shards) true (r = seq))
+    [ 2; 3; 8 ];
+  Exec.Pool.with_pool ~domains:4 (fun pool ->
+      List.iter
+        (fun shards ->
+          let r = Harness.Shard_ping.run ~pool ~parallel:true ~shards ~topology ~horizon () in
+          check bool
+            (Printf.sprintf "parallel shards=%d equals sequential" shards)
+            true (r = seq))
+        [ 2; 4 ])
+
 (* ----------------------- theorem-shaped checks --------------------- *)
 
 let wait_freedom_property =
@@ -381,6 +435,9 @@ let suite =
     Alcotest.test_case "seed sensitivity" `Quick seed_changes_run;
     Alcotest.test_case "crash plans" `Quick crash_plans;
     Alcotest.test_case "workload drives everyone" `Quick workload_drives_everyone;
+    Alcotest.test_case "sharded stepping is trace-identical" `Quick shard_equivalence;
+    Alcotest.test_case "shard_ping: parallel = sequential for any shards" `Quick
+      shard_ping_parallel_equality;
     QCheck_alcotest.to_alcotest wait_freedom_property;
     QCheck_alcotest.to_alcotest safety_property;
     QCheck_alcotest.to_alcotest bounded_waiting_property;

@@ -469,6 +469,148 @@ let engine_backends_agree =
       in
       run `Heap = run `Wheel)
 
+(* ------------------------ Infinity boundary ------------------------ *)
+
+(* Regression: [Time.infinity] is [max_int], and an event inserted at
+   that priority used to sit in the queue as a real event that could
+   never fire (the wheel's find-min also uses max_int as its sentinel).
+   Both backends must reject it outright, while every finite tick up to
+   [max_int - 1] stays representable. *)
+let queue_rejects_infinity () =
+  let w = Sim.Wheel.create () in
+  let rejected = match Sim.Wheel.add w ~prio:max_int "inf" with
+    | () -> false
+    | exception Invalid_argument _ -> true
+  in
+  check bool "wheel rejects prio = max_int" true rejected;
+  Sim.Wheel.add w ~prio:(max_int - 1) "last";
+  check (Alcotest.option (Alcotest.pair int Alcotest.string)) "wheel pops max_int - 1"
+    (Some (max_int - 1, "last"))
+    (Sim.Wheel.pop w);
+  let p = Sim.Pqueue.create () in
+  let rejected = match Sim.Pqueue.add p ~prio:max_int "inf" with
+    | () -> false
+    | exception Invalid_argument _ -> true
+  in
+  check bool "pqueue rejects prio = max_int" true rejected;
+  Sim.Pqueue.add p ~prio:(max_int - 1) "last";
+  check (Alcotest.option (Alcotest.pair int Alcotest.string)) "pqueue pops max_int - 1"
+    (Some (max_int - 1, "last"))
+    (Sim.Pqueue.pop p)
+
+(* [Time.add] saturates to infinity, so a huge relative delay is a
+   well-defined "never": schedule_after must become the infinity no-op
+   rather than overflowing into the past or inserting max_int. *)
+let engine_saturated_delay_noop backend () =
+  let engine = Sim.Engine.create ~backend () in
+  ignore (Sim.Engine.schedule engine ~at:10 (fun () -> ()));
+  Sim.Engine.run_all engine;
+  ignore (Sim.Engine.schedule_after engine ~delay:max_int (fun () -> Alcotest.fail "fired"));
+  ignore (Sim.Engine.schedule_after engine ~delay:(max_int - 5) (fun () -> Alcotest.fail "fired"));
+  check int "saturated delays are infinity no-ops" 0 (Sim.Engine.pending engine);
+  Sim.Engine.run_all engine;
+  check int "clock untouched" 10 (Sim.Engine.now engine)
+
+(* ------------------------- Sharded stepping ------------------------- *)
+
+(* A workload that exercises everything staged stepping must get right:
+   nested scheduling, same-tick scheduling (sub-rounds), cancellation of
+   both queued and same-tick events, owner tags spread over processes. *)
+let staged_workload ~shards () =
+  let engine = Sim.Engine.create () in
+  if shards > 0 then Sim.Engine.set_sharding engine ~shards ~n:8 ();
+  let log = ref [] in
+  let victim = ref None in
+  let note tag () = log := (tag, Sim.Engine.now engine) :: !log in
+  let rec chain owner n () =
+    note (100 + n) ();
+    if n > 0 then
+      ignore (Sim.Engine.schedule_after engine ~owner ~delay:(1 + (n mod 3)) (chain owner (n - 1)))
+  in
+  for owner = 0 to 7 do
+    ignore (Sim.Engine.schedule engine ~owner ~at:(owner mod 3) (chain owner 5))
+  done;
+  (* Same-tick scheduling: fires in the same step, a sub-round later. *)
+  ignore
+    (Sim.Engine.schedule engine ~owner:1 ~at:4 (fun () ->
+         note 1 ();
+         ignore
+           (Sim.Engine.schedule engine ~owner:6 ~at:4 (fun () ->
+                note 2 ();
+                ignore (Sim.Engine.schedule engine ~owner:3 ~at:4 (note 3))))));
+  (* Cancel a queued event from another shard's handler... *)
+  victim := Some (Sim.Engine.schedule engine ~owner:7 ~at:9 (fun () -> note 666 ()));
+  ignore
+    (Sim.Engine.schedule engine ~owner:0 ~at:6 (fun () ->
+         Sim.Engine.cancel engine (Option.get !victim)));
+  (* ...and a same-tick one later in the same batch: the canceller pops
+     first (earlier schedule order), so the victim must not fire even
+     though it was drained into the batch alongside it. *)
+  let batch_victim = ref None in
+  ignore
+    (Sim.Engine.schedule engine ~owner:2 ~at:2 (fun () ->
+         Sim.Engine.cancel engine (Option.get !batch_victim)));
+  batch_victim := Some (Sim.Engine.schedule engine ~owner:5 ~at:2 (fun () -> note 667 ()));
+  Sim.Engine.run engine ~until:12;
+  let mid = (List.rev !log, Sim.Engine.now engine, Sim.Engine.processed engine) in
+  Sim.Engine.run_all engine;
+  (mid, List.rev !log, Sim.Engine.now engine, Sim.Engine.processed engine)
+
+let engine_staged_matches_legacy () =
+  let reference = staged_workload ~shards:0 () in
+  List.iter
+    (fun shards ->
+      let r = staged_workload ~shards () in
+      check bool (Printf.sprintf "shards=%d equals the legacy loop" shards) true
+        (r = reference))
+    [ 1; 2; 3; 8 ];
+  (* Sanity on the reference itself: the cancelled events never fired. *)
+  let _, log, _, _ = reference in
+  check bool "cancelled queued event never fired" true
+    (not (List.mem_assoc 666 log));
+  check bool "cancelled same-tick event never fired" true
+    (not (List.mem_assoc 667 log))
+
+let engine_staged_until_boundary () =
+  let engine = Sim.Engine.create () in
+  Sim.Engine.set_sharding engine ~shards:4 ~n:4 ();
+  let fired = ref [] in
+  List.iter
+    (fun t ->
+      ignore
+        (Sim.Engine.schedule engine ~owner:(t mod 4) ~at:t (fun () -> fired := t :: !fired)))
+    [ 5; 10; 15 ];
+  Sim.Engine.run engine ~until:10;
+  check (Alcotest.list int) "staged run ~until fires only <= until" [ 5; 10 ]
+    (List.rev !fired);
+  check int "staged clock at last fired event" 10 (Sim.Engine.now engine);
+  check int "later event still pending" 1 (Sim.Engine.pending engine)
+
+let engine_staged_traces_identical () =
+  let capture shards =
+    let recorder = Obs.Recorder.collecting () in
+    let engine = Sim.Engine.create ~recorder () in
+    if shards > 0 then Sim.Engine.set_sharding engine ~shards ~n:4 ();
+    let rec tick owner n () =
+      if n > 0 then
+        ignore (Sim.Engine.schedule_after engine ~owner ~delay:(1 + owner) (tick owner (n - 1)))
+    in
+    for owner = 0 to 3 do
+      ignore (Sim.Engine.schedule engine ~owner ~at:owner (tick owner 4))
+    done;
+    Sim.Engine.run_all engine;
+    let buf = Buffer.create 256 in
+    Obs.Recorder.iter recorder (fun r -> Obs.Jsonl.append buf r);
+    Buffer.contents buf
+  in
+  let reference = capture 0 in
+  List.iter
+    (fun s ->
+      check Alcotest.string
+        (Printf.sprintf "full trace identical at shards=%d" s)
+        reference (capture s))
+    [ 1; 2; 4 ]
+
 (* ------------------------------ Trace ------------------------------ *)
 
 let trace_disabled_by_default () =
@@ -531,6 +673,17 @@ let suite =
     Alcotest.test_case "engine: handlers schedule more events" `Quick engine_nested_scheduling;
     Alcotest.test_case "engine: mass cancellation compacts" `Quick engine_mass_cancel;
     Alcotest.test_case "engine: infinity is a no-op" `Quick engine_infinity_noop;
+    Alcotest.test_case "queues: reject prio = infinity, keep max_int - 1" `Quick
+      queue_rejects_infinity;
+    Alcotest.test_case "engine: saturated delay is a no-op (heap)" `Quick
+      (engine_saturated_delay_noop `Heap);
+    Alcotest.test_case "engine: saturated delay is a no-op (wheel)" `Quick
+      (engine_saturated_delay_noop `Wheel);
+    Alcotest.test_case "engine: staged stepping equals the legacy loop" `Quick
+      engine_staged_matches_legacy;
+    Alcotest.test_case "engine: staged run ~until boundary" `Quick engine_staged_until_boundary;
+    Alcotest.test_case "engine: staged traces byte-identical" `Quick
+      engine_staged_traces_identical;
     Alcotest.test_case "engine: cancel releases the closure (heap)" `Quick
       (engine_cancel_releases_closure `Heap);
     Alcotest.test_case "engine: cancel releases the closure (wheel)" `Quick
